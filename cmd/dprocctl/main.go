@@ -1,0 +1,107 @@
+// Command dprocctl reads and writes a dprocd node's /proc/cluster hierarchy
+// over its admin socket — the command-line face of the paper's "simple reads
+// and writes to control files within the pseudo-file system".
+//
+// Usage:
+//
+//	dprocctl -node 127.0.0.1:7501 ls cluster
+//	dprocctl -node 127.0.0.1:7501 cat cluster/maui/loadavg
+//	dprocctl -node 127.0.0.1:7501 tree
+//	dprocctl -node 127.0.0.1:7501 status
+//	dprocctl -node 127.0.0.1:7501 write cluster/maui/control 'period cpu 2'
+//	cat filter.ec | dprocctl -node 127.0.0.1:7501 write cluster/maui/control -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dproc/internal/adminproto"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7501", "dprocd admin socket address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	client := adminproto.NewClient(*node)
+	switch args[0] {
+	case "ls":
+		path := ""
+		if len(args) > 1 {
+			path = args[1]
+		}
+		entries, err := client.List(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			fmt.Println(e)
+		}
+	case "cat":
+		if len(args) < 2 {
+			usage()
+		}
+		out, err := client.Cat(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "tree":
+		path := "cluster"
+		if len(args) > 1 {
+			path = args[1]
+		}
+		out, err := client.Tree(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "status":
+		out, err := client.Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "write":
+		if len(args) < 3 {
+			usage()
+		}
+		var body string
+		if args[2] == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fatal(err)
+			}
+			body = string(data)
+		} else {
+			body = strings.Join(args[2:], " ")
+		}
+		if err := client.Write(args[1], body); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dprocctl:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dprocctl [-node addr] ls [path]
+  dprocctl [-node addr] cat <path>
+  dprocctl [-node addr] tree [path]
+  dprocctl [-node addr] status
+  dprocctl [-node addr] write <path> <data...|->`)
+	os.Exit(2)
+}

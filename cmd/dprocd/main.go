@@ -1,0 +1,97 @@
+// Command dprocd runs one dproc node: it joins the cluster's monitoring and
+// control channels through the registry, monitors local resources (the live
+// /proc by default, or a simulated host), publishes monitoring events every
+// poll period, and exposes the /proc/cluster pseudo-filesystem over a local
+// admin socket for dprocctl.
+//
+// Usage:
+//
+//	dprocd -name alan -registry 127.0.0.1:7420 -admin 127.0.0.1:7501
+//	dprocd -name sim0 -registry 127.0.0.1:7420 -sim -load 2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dproc/internal/adminproto"
+	"dproc/internal/clock"
+	"dproc/internal/core"
+	"dproc/internal/dmon"
+	"dproc/internal/simres"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", hostnameDefault(), "cluster-unique node name")
+		regAddr = flag.String("registry", "127.0.0.1:7420", "channel registry address")
+		admin   = flag.String("admin", "127.0.0.1:0", "admin socket for dprocctl (empty disables)")
+		period  = flag.Duration("period", time.Second, "poll loop period")
+		padding = flag.Int("padding", 0, "extra bytes per monitoring event")
+		sim     = flag.Bool("sim", false, "use a simulated host instead of the live /proc")
+		simLoad = flag.Float64("load", 0, "simulated base CPU load (with -sim)")
+		battery = flag.Float64("battery", 0, "battery capacity in Wh; >0 registers the POWER_MON module (with -sim)")
+		noJoin  = flag.Bool("standalone", false, "do not join a cluster (local monitoring only)")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Name:    *name,
+		Clock:   clock.NewReal(),
+		Padding: *padding,
+	}
+	if !*noJoin {
+		cfg.RegistryAddr = *regAddr
+	}
+	var simHost *simres.Host
+	if *sim {
+		simHost = simres.NewHost(*name, cfg.Clock, time.Now().UnixNano())
+		simHost.SetBaseLoad(*simLoad)
+		cfg.Source = simHost
+	}
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	if *battery > 0 && simHost != nil {
+		// The paper's mobile-device scenario: power monitoring arrives as a
+		// dynamically registered module.
+		simHost.EnableBattery(*battery, 2, 1)
+		node.DMon().Register(dmon.PowerModule(simHost))
+		fmt.Printf("POWER_MON registered (%.0f Wh battery)\n", *battery)
+	}
+	node.StartPolling(*period)
+	fmt.Printf("dprocd %q polling every %v", *name, *period)
+	if cfg.RegistryAddr != "" {
+		fmt.Printf(", registry %s", cfg.RegistryAddr)
+	}
+	fmt.Println()
+
+	if *admin != "" {
+		srv, err := adminproto.NewServer(node, *admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("admin socket on %s\n", srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func hostnameDefault() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "node"
+}

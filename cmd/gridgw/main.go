@@ -1,0 +1,106 @@
+// Command gridgw bridges one dproc cluster to a wide-area grid: it joins
+// the local cluster's monitoring and control channels and a second,
+// wide-area registry's channels, exporting the cluster's state under a
+// prefix (forwarded per node, or aggregated into one summary) and routing
+// grid-side control commands back into the cluster — the paper's
+// "wide-area grids" future work.
+//
+// Usage:
+//
+//	gridgw -cluster clusterA -local 127.0.0.1:7420 -wan 10.0.0.1:7420 -mode aggregate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dproc/internal/dmon"
+	"dproc/internal/federation"
+	"dproc/internal/kecho"
+	"dproc/internal/registry"
+)
+
+func main() {
+	var (
+		cluster  = flag.String("cluster", "clusterA", "export prefix for this cluster")
+		local    = flag.String("local", "127.0.0.1:7420", "local cluster registry address")
+		wan      = flag.String("wan", "", "wide-area registry address (required)")
+		modeName = flag.String("mode", "forward", "forward | aggregate")
+		period   = flag.Duration("period", 5*time.Second, "minimum interval between uplink pushes")
+	)
+	flag.Parse()
+	if *wan == "" {
+		fmt.Fprintln(os.Stderr, "gridgw: -wan registry address required")
+		os.Exit(2)
+	}
+	var mode federation.Mode
+	switch *modeName {
+	case "forward":
+		mode = federation.Forward
+	case "aggregate":
+		mode = federation.Aggregate
+	default:
+		fmt.Fprintf(os.Stderr, "gridgw: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	join := func(regAddr, channel, id string) *kecho.Channel {
+		cli := registry.NewClient(regAddr)
+		ch, err := kecho.Join(cli, channel, id, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridgw:", err)
+			os.Exit(1)
+		}
+		return ch
+	}
+	gwID := "gw-" + *cluster
+	localMon := join(*local, dmon.MonitoringChannel, gwID)
+	defer localMon.Close()
+	localCtl := join(*local, dmon.ControlChannel, gwID)
+	defer localCtl.Close()
+	upMon := join(*wan, "grid.monitoring", gwID)
+	defer upMon.Close()
+	upCtl := join(*wan, "grid.control", gwID)
+	defer upCtl.Close()
+
+	gw, err := federation.NewGateway(federation.Config{
+		ClusterName: *cluster,
+		Mode:        mode,
+		Period:      *period,
+		LocalMon:    localMon,
+		LocalCtl:    localCtl,
+		UpMon:       upMon,
+		UpCtl:       upCtl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridgw:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gridgw %q: %s mode, pushing every %v (local %s -> wan %s)\n",
+		*cluster, mode, *period, *local, *wan)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	status := time.NewTicker(10 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-ticker.C:
+			if _, err := gw.Poll(); err != nil {
+				fmt.Fprintln(os.Stderr, "gridgw:", err)
+			}
+		case <-status.C:
+			pushed, routed := gw.Stats()
+			fmt.Printf("pushed=%d routed=%d\n", pushed, routed)
+		}
+	}
+}

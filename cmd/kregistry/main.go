@@ -1,0 +1,40 @@
+// Command kregistry runs the dproc channel registry: the user-level
+// directory server that d-mon modules contact to create and find the
+// monitoring and control channels. Start it once per cluster, then point
+// every dprocd at its address.
+//
+// Usage:
+//
+//	kregistry -listen 127.0.0.1:7420
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dproc/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7420", "address to listen on")
+	flag.Parse()
+
+	srv, err := registry.NewServer(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("kregistry listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command spclient runs a SmartPointer visualization client: it subscribes
+// to the server's stream with a chosen policy and reports what it receives.
+// Give it the same -name as a dprocd node on the machine so the server can
+// find the client's resource state in its dproc store.
+//
+// Usage:
+//
+//	spclient -registry 127.0.0.1:7420 -name alan -policy dynamic
+//	spclient -registry 127.0.0.1:7420 -name ipaq -policy static -transform subsample4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dproc/internal/kecho"
+	"dproc/internal/registry"
+	"dproc/internal/smartpointer"
+)
+
+func main() {
+	var (
+		regAddr   = flag.String("registry", "127.0.0.1:7420", "channel registry address")
+		name      = flag.String("name", "spclient", "member ID (match the local dprocd node name)")
+		server    = flag.String("server", "spserver", "server member ID")
+		policyStr = flag.String("policy", "dynamic", "none | static | dynamic")
+		trName    = flag.String("transform", "dropvel", "static transform (with -policy static)")
+	)
+	flag.Parse()
+
+	var policy smartpointer.PolicyKind
+	switch *policyStr {
+	case "none":
+		policy = smartpointer.PolicyNone
+	case "static":
+		policy = smartpointer.PolicyStatic
+	case "dynamic":
+		policy = smartpointer.PolicyDynamic
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policyStr))
+	}
+	transform, ok := smartpointer.ParseTransform(*trName)
+	if !ok {
+		fatal(fmt.Errorf("unknown transform %q", *trName))
+	}
+
+	regCli := registry.NewClient(*regAddr)
+	defer regCli.Close()
+	ch, err := kecho.Join(regCli, smartpointer.DataChannel, *name, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer ch.Close()
+	client := smartpointer.NewLiveClient(ch, *server)
+	if !ch.WaitForPeers(1, 5*time.Second) {
+		fatal(fmt.Errorf("no server on the data channel"))
+	}
+	if err := client.Subscribe(policy, transform); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spclient %q subscribed (%s", *name, policy)
+	if policy == smartpointer.PolicyStatic {
+		fmt.Printf(", %s", transform)
+	}
+	fmt.Println(")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	poll := time.NewTicker(20 * time.Millisecond)
+	defer poll.Stop()
+	status := time.NewTicker(2 * time.Second)
+	defer status.Stop()
+	var lastCount int
+	var lastBytes uint64
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-poll.C:
+			client.Poll()
+		case <-status.C:
+			frames := client.Frames()
+			bytes := client.Bytes()
+			rate := float64(len(frames)-lastCount) / 2
+			mbps := float64(bytes-lastBytes) * 8 / 2 / 1e6
+			lastCount, lastBytes = len(frames), bytes
+			current := "-"
+			if len(frames) > 0 {
+				current = frames[len(frames)-1].Transform.String()
+			}
+			fmt.Printf("frames=%d rate=%.1f/s stream=%.1fMbps transform=%s latency=%v\n",
+				len(frames), rate, mbps, current, client.LastLatency().Round(time.Microsecond))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command spserver runs the SmartPointer visualization server: it joins the
+// SmartPointer data channel through the cluster's registry, accepts client
+// subscriptions, and streams molecular dynamics frames — customizing each
+// client's stream from the dproc monitoring data it receives on the
+// cluster's monitoring channel.
+//
+// Usage:
+//
+//	spserver -registry 127.0.0.1:7420 -atoms 20000 -interval 180ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/dmon"
+	"dproc/internal/kecho"
+	"dproc/internal/registry"
+	"dproc/internal/smartpointer"
+)
+
+func main() {
+	var (
+		regAddr  = flag.String("registry", "127.0.0.1:7420", "channel registry address")
+		name     = flag.String("name", "spserver", "server member ID on the data channel")
+		atoms    = flag.Int("atoms", 20000, "atoms per frame")
+		interval = flag.Duration("interval", 180*time.Millisecond, "frame send period")
+		baseProc = flag.Float64("baseproc", 0.15, "assumed idle-client processing cost per full frame (s)")
+		policy   = flag.String("policy", "", "E-code adaptation policy file (empty uses the builtin hybrid chooser)")
+	)
+	flag.Parse()
+
+	regData := registry.NewClient(*regAddr)
+	defer regData.Close()
+	dataCh, err := kecho.Join(regData, smartpointer.DataChannel, *name, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer dataCh.Close()
+
+	// Join the dproc monitoring channel read-only to learn client state.
+	regMon := registry.NewClient(*regAddr)
+	defer regMon.Close()
+	monCh, err := kecho.Join(regMon, dmon.MonitoringChannel, *name, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer monCh.Close()
+	d := dmon.New(*name, clock.NewReal(), nil) // store only; no local modules
+	d.Attach(monCh, nil)
+
+	gen := smartpointer.NewGenerator(*atoms, time.Now().UnixNano())
+	server := smartpointer.NewLiveServer(dataCh, gen, d.Store())
+	server.Interval = *interval
+	server.BaseProcSec = *baseProc
+	if *policy != "" {
+		src, err := os.ReadFile(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := smartpointer.NewEcodePolicy(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		server.SetEcodePolicy(p)
+		fmt.Printf("using E-code policy from %s\n", *policy)
+	}
+	fmt.Printf("spserver %q: %d-atom frames (%d bytes) every %v\n",
+		*name, gen.Atoms(), smartpointer.FullSize(gen.Atoms()), *interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-ticker.C:
+			server.Poll()
+			d.PollChannels()
+			if _, err := server.SendFrame(); err != nil {
+				fmt.Fprintln(os.Stderr, "send:", err)
+			}
+		case <-status.C:
+			subs := server.Subscribers()
+			sort.Strings(subs)
+			fmt.Printf("subscribers=%v transforms=%v policy_errors=%d\n",
+				subs, fmtCounts(server.SentByTransform()), server.PolicyErrors())
+		}
+	}
+}
+
+func fmtCounts(m map[smartpointer.Transform]uint64) string {
+	type kv struct {
+		t smartpointer.Transform
+		n uint64
+	}
+	var list []kv
+	for t, n := range m {
+		list = append(list, kv{t, n})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].t < list[j].t })
+	out := "{"
+	for i, e := range list {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", e.t, e.n)
+	}
+	return out + "}"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spserver:", err)
+	os.Exit(1)
+}

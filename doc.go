@@ -1,0 +1,14 @@
+// Package dproc is a user-space Go reproduction of the dproc distributed
+// monitoring mechanisms (Agarwala et al., HPDC 2003): resource-aware stream
+// management built on customizable, filterable, peer-to-peer kernel-style
+// monitoring channels.
+//
+// The public surface lives in internal/core (the dproc node), with substrates
+// in internal/kecho (event channels), internal/ecode (the E-code filter
+// language), internal/dmon (the d-mon monitoring coordinator), internal/vfs
+// (the /proc/cluster pseudo-filesystem), and internal/smartpointer (the
+// adaptive streaming application used in the paper's evaluation).
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure.
+package dproc

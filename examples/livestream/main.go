@@ -1,0 +1,119 @@
+// Live end-to-end SmartPointer: a real dproc cluster (registry, monitoring
+// and control channels over TCP) monitors a visualization client's node,
+// while a SmartPointer server streams real molecular-dynamics frames to it
+// on a separate data channel. The server's per-frame transform decisions are
+// driven entirely by the monitoring reports dproc delivers — load the
+// client's host and watch the stream adapt.
+//
+// Run with: go run ./examples/livestream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/core"
+	"dproc/internal/kecho"
+	"dproc/internal/metrics"
+	"dproc/internal/netsim"
+	"dproc/internal/registry"
+	"dproc/internal/smartpointer"
+)
+
+func main() {
+	// A two-node dproc cluster: node0 hosts the SmartPointer server, node1
+	// the visualization client.
+	cluster, err := core.NewSimCluster(2, clock.NewReal(), 7, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	clientHost := cluster.Hosts[1]
+	clientHost.SetNoise(0)
+
+	// The SmartPointer data channel rides the same registry.
+	joinData := func(id string) *kecho.Channel {
+		cli := registry.NewClient(cluster.Registry.Addr())
+		ch, err := kecho.Join(cli, smartpointer.DataChannel, id, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ch
+	}
+	serverCh := joinData("server")
+	defer serverCh.Close()
+	clientCh := joinData("node1") // the client's dproc node name
+	defer clientCh.Close()
+	serverCh.WaitForPeers(1, 2*time.Second)
+	clientCh.WaitForPeers(1, 2*time.Second)
+
+	// The server adapts using node0's dproc store — the monitoring data that
+	// arrives over dproc's own channels.
+	gen := smartpointer.NewGenerator(20_000, 1) // 560 KB frames
+	server := smartpointer.NewLiveServer(serverCh, gen, cluster.Nodes[0].DMon().Store())
+	client := smartpointer.NewLiveClient(clientCh, "server")
+	if err := client.Subscribe(smartpointer.PolicyDynamic, smartpointer.Full); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(server.Subscribers()) == 0 {
+		server.Poll()
+		if time.Now().After(deadline) {
+			log.Fatal("subscription never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// pump lets monitoring reports flow: every node polls (publishes +
+	// drains), so node0's store learns node1's state.
+	pump := func() {
+		if _, _, err := cluster.PollAll(); err != nil {
+			log.Fatal(err)
+		}
+		cluster.DrainAll(30 * time.Millisecond)
+	}
+
+	delivered := 0
+	phase := func(name string, frames int) {
+		pump()
+		counts := map[smartpointer.Transform]int{}
+		before := client.Bytes()
+		for i := 0; i < frames; i++ {
+			used, err := server.SendFrame()
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts[used["node1"]]++
+			delivered++
+			d := time.Now().Add(2 * time.Second)
+			for len(client.Frames()) < delivered {
+				client.Poll()
+				if time.Now().After(d) {
+					log.Fatal("frame never arrived")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		bytes := client.Bytes() - before
+		load, _ := cluster.Nodes[0].DMon().Store().Value("node1", metrics.LOADAVG)
+		avail, _ := cluster.Nodes[0].DMon().Store().Value("node1", metrics.NETAVAIL)
+		fmt.Printf("%-38s load=%.1f avail=%.0fMbps -> %v  (%.1f MB, wire latency %v)\n",
+			name, load, avail/1e6, counts, float64(bytes)/1e6,
+			client.LastLatency().Round(time.Microsecond))
+	}
+
+	fmt.Println("=== live adaptive stream (server decides from dproc reports) ===")
+	phase("phase 1: idle client", 4)
+
+	for i := 0; i < 6; i++ {
+		clientHost.AddTask(1)
+	}
+	time.Sleep(1100 * time.Millisecond) // let the 1s monitoring period re-arm
+	phase("phase 2: client CPU loaded (6 tasks)", 4)
+
+	clientHost.Link().SetPerturbation(netsim.Mbps(99.8))
+	time.Sleep(1100 * time.Millisecond)
+	phase("phase 3: plus saturated network", 4)
+}

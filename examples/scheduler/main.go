@@ -1,0 +1,119 @@
+// Batch-queue scheduling on dproc monitoring data — the paper's recurring
+// example application, and the Q-Fabric direction from its conclusions:
+// QoS management mechanisms consuming dproc's monitoring results to
+// allocate resources. A scheduler node watches the cluster through its
+// /proc/cluster view, places jobs on the least-loaded nodes with enough
+// memory, tunes the cluster's monitoring for exactly the data it needs, and
+// proposes migrations when external load makes a node hot.
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/core"
+	"dproc/internal/qos"
+)
+
+func main() {
+	cluster, err := core.NewSimCluster(4, clock.NewReal(), 11, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	for _, h := range cluster.Hosts {
+		h.SetNoise(0)
+	}
+	// Pre-existing conditions: node1 is busy, node2 is short on memory.
+	cluster.Hosts[1].AddTask(3)
+	cluster.Hosts[2].SetMemExtra(350 << 20)
+
+	sync := func() {
+		if _, _, err := cluster.PollAll(); err != nil {
+			log.Fatal(err)
+		}
+		cluster.DrainAll(50 * time.Millisecond)
+	}
+	sync()
+
+	// node0 is the scheduler's seat: it sees the others through dproc.
+	sched := qos.NewScheduler(cluster.Nodes[0].DMon().Store(), 4)
+
+	fmt.Println("=== cluster as the scheduler sees it ===")
+	for _, st := range sched.Cluster() {
+		fmt.Printf("  %-6s load=%.1f free=%dMB\n", st.Node, st.Load, st.FreeMem>>20)
+	}
+
+	// Tune remote monitoring for scheduling: the paper's "load average
+	// updates only if it is less than the number of CPUs".
+	fmt.Println("\n=== tuning cluster monitoring for the scheduler ===")
+	ctl := qos.ControlForScheduler(4)
+	fmt.Print(indent(ctl))
+	if err := cluster.Nodes[0].DMon().SendControl("", ctl); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== placing jobs ===")
+	jobs := []qos.Job{
+		{ID: "md-sim", CPUDemand: 2, MemDemand: 128 << 20},
+		{ID: "render", CPUDemand: 1, MemDemand: 64 << 20},
+		{ID: "etl", CPUDemand: 1, MemDemand: 200 << 20},
+		{ID: "small-1", CPUDemand: 0.5, MemDemand: 16 << 20},
+		{ID: "small-2", CPUDemand: 0.5, MemDemand: 16 << 20},
+	}
+	for _, job := range jobs {
+		node, err := sched.Place(job)
+		if err != nil {
+			fmt.Printf("  %-8s -> REJECTED (%v)\n", job.ID, err)
+			continue
+		}
+		fmt.Printf("  %-8s (cpu %.1f, mem %dMB) -> %s\n",
+			job.ID, job.CPUDemand, job.MemDemand>>20, node)
+	}
+
+	// External load hits a node that hosts our work: rebalance.
+	victimNode := sched.Placements()["md-sim"]
+	idx := int(victimNode[len(victimNode)-1] - '0')
+	fmt.Printf("\n=== %s becomes overloaded (5 external tasks appear) ===\n", victimNode)
+	cluster.Hosts[idx].AddTask(5)
+	time.Sleep(1100 * time.Millisecond) // let the 1s monitoring period re-arm
+	sync()
+	for _, move := range sched.Rebalance() {
+		fmt.Printf("  migrate %s: %s -> %s\n", move.JobID, move.From, move.To)
+	}
+	fmt.Println("\n=== final placements ===")
+	for job, node := range sched.Placements() {
+		fmt.Printf("  %-8s on %s\n", job, node)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				lines = append(lines, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,100 @@
+// Parameter-based monitoring: the paper's batch-queue scheduler scenario.
+// A scheduler only cares about a node when it has a free CPU, so it tunes
+// remote monitoring with plain parameters — update periods, thresholds and
+// the differential filter — no dynamic code generation needed.
+//
+// Run with: go run ./examples/threshold
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/dmon"
+	"dproc/internal/metrics"
+	"dproc/internal/simres"
+)
+
+func main() {
+	clk := clock.NewVirtual(clock.Epoch)
+	host := simres.NewHost("worker", clk, 1)
+	host.SetNoise(0)
+	d := dmon.New("worker", clk, host)
+
+	// The paper: "for a batch-queue scheduler, we might need load average
+	// updates only if it is less than the number of CPUs" (4 on the quad
+	// Pentium Pro nodes).
+	fmt.Println("=== threshold: report loadavg only when < 4 (a CPU is free) ===")
+	if err := d.ApplyControlText("threshold loadavg below 4"); err != nil {
+		log.Fatal(err)
+	}
+	poll := func() []metrics.Sample {
+		sent := d.FilterSamples(clk.Now(), d.CollectDue(clk.Now()))
+		clk.Advance(time.Second)
+		return sent
+	}
+	show := func(label string, sent []metrics.Sample) {
+		has := "no"
+		for _, s := range sent {
+			if s.ID == metrics.LOADAVG {
+				has = fmt.Sprintf("yes (%.1f)", s.Value)
+			}
+		}
+		fmt.Printf("  %-28s loadavg sent: %s\n", label, has)
+	}
+	show("idle node (load 0)", poll())
+	busy := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		busy = append(busy, host.AddTask(1))
+	}
+	show("saturated node (load 6)", poll())
+	for _, id := range busy[:4] {
+		host.RemoveTask(id)
+	}
+	show("two tasks left (load 2)", poll())
+
+	// Combination: "update the CPU information once every 2 seconds IF the
+	// CPU utilization is above 80%".
+	fmt.Println("\n=== period + threshold combination ===")
+	d.ClearAllThresholds()
+	if err := d.ApplyControlText("period cpu 2\nthreshold loadavg above 0.8"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		sent := poll()
+		n := 0
+		for _, s := range sent {
+			if s.ID.Resource() == metrics.CPU {
+				n++
+			}
+		}
+		fmt.Printf("  t=%ds: %d CPU samples sent\n", i, n)
+	}
+
+	// The differential filter from the microbenchmarks: only changes >= 15%
+	// are worth a network message.
+	fmt.Println("\n=== differential filter (15%) ===")
+	d.ClearAllThresholds()
+	d.SetDifferential(15)
+	labels := []string{
+		"steady state",
+		"steady state",
+		"steady state",
+		"after load doubles",
+		"next poll",
+		"steady state",
+	}
+	for i, label := range labels {
+		if i == 3 {
+			host.AddTask(2)
+		}
+		sent := poll()
+		names := make([]string, 0, len(sent))
+		for _, s := range sent {
+			names = append(names, s.ID.String())
+		}
+		fmt.Printf("  %-22s %2d of %d metrics sent %v\n", label, len(sent), metrics.NumIDs, names)
+	}
+}

@@ -1,0 +1,3 @@
+module dproc
+
+go 1.22

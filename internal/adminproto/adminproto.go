@@ -1,0 +1,251 @@
+// Package adminproto implements the dprocd admin protocol: a line-oriented
+// TCP interface through which dprocctl (or any tool) reads and writes a
+// node's /proc/cluster pseudo-filesystem. One request per connection:
+//
+//	ls <path>\n              → OK\n<entry per line, dirs suffixed with "/">
+//	cat <path>\n             → OK\n<file contents>
+//	tree [path]\n            → OK\n<indented hierarchy>
+//	status\n                 → OK\n<node status lines>
+//	write <path>\n<body EOF> → OK\n
+//
+// Errors come back as a single "ERR <message>" line. The protocol exists so
+// the pseudo-filesystem contract of the paper ("simple reads and writes to
+// control files") survives the lack of a real kernel mount: any process on
+// the machine can still script against the hierarchy.
+package adminproto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"dproc/internal/core"
+)
+
+// Server serves the admin protocol for one node.
+type Server struct {
+	ln   net.Listener
+	node *core.Node
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts an admin server for node on addr (e.g. "127.0.0.1:0").
+func NewServer(node *core.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adminproto: listen: %w", err)
+	}
+	s := &Server{ln: ln, node: node}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address clients should dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	reply := func(str string) { _, _ = io.WriteString(conn, str) }
+	if len(fields) == 0 {
+		reply("ERR empty command\n")
+		return
+	}
+	fs := s.node.FS()
+	switch fields[0] {
+	case "ls":
+		path := ""
+		if len(fields) > 1 {
+			path = fields[1]
+		}
+		entries, err := fs.ReadDir(path)
+		if err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		reply("OK\n")
+		for _, e := range entries {
+			name := e.Name
+			if e.IsDir {
+				name += "/"
+			}
+			reply(name + "\n")
+		}
+	case "cat":
+		if len(fields) < 2 {
+			reply("ERR usage: cat <path>\n")
+			return
+		}
+		content, err := fs.ReadFile(fields[1])
+		if err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		reply("OK\n" + content)
+	case "tree":
+		path := "cluster"
+		if len(fields) > 1 {
+			path = fields[1]
+		}
+		tree, err := fs.Tree(path)
+		if err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		reply("OK\n" + tree)
+	case "write":
+		if len(fields) < 2 {
+			reply("ERR usage: write <path> then body until EOF\n")
+			return
+		}
+		body, err := io.ReadAll(r)
+		if err != nil {
+			reply("ERR reading body: " + err.Error() + "\n")
+			return
+		}
+		if err := fs.WriteFile(fields[1], string(body)); err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		reply("OK\n")
+	case "status":
+		reply("OK\n")
+		d := s.node.DMon()
+		reply(fmt.Sprintf("node %s\nmodules %s\nfilter_errors %d\n",
+			s.node.Name(), strings.Join(d.Modules(), ","), d.FilterErrors()))
+		for _, remote := range d.Store().Nodes() {
+			last, count := d.Store().LastReport(remote)
+			reply(fmt.Sprintf("peer %s reports=%d last=%s\n",
+				remote, count, last.Format(time.RFC3339)))
+		}
+	default:
+		reply("ERR unknown command " + fields[0] + " (have ls, cat, tree, write, status)\n")
+	}
+}
+
+// Client issues admin protocol requests.
+type Client struct {
+	addr string
+}
+
+// NewClient returns a client for the admin server at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// roundTrip performs one request; body may be nil.
+func (c *Client) roundTrip(header string, body []byte) (string, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return "", fmt.Errorf("adminproto: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.WriteString(conn, header); err != nil {
+		return "", err
+	}
+	if body != nil {
+		if _, err := conn.Write(body); err != nil {
+			return "", err
+		}
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		if err := tcp.CloseWrite(); err != nil {
+			return "", err
+		}
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	status = strings.TrimSpace(status)
+	if strings.HasPrefix(status, "ERR") {
+		return "", fmt.Errorf("adminproto: %s", strings.TrimPrefix(status, "ERR "))
+	}
+	return string(rest), nil
+}
+
+// List returns the entries of a directory (dirs suffixed with "/").
+func (c *Client) List(path string) ([]string, error) {
+	out, err := c.roundTrip("ls "+path+"\n", nil)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" {
+			entries = append(entries, line)
+		}
+	}
+	return entries, nil
+}
+
+// Cat returns a pseudo-file's contents.
+func (c *Client) Cat(path string) (string, error) {
+	return c.roundTrip("cat "+path+"\n", nil)
+}
+
+// Tree returns the indented hierarchy rooted at path.
+func (c *Client) Tree(path string) (string, error) {
+	if path == "" {
+		path = "cluster"
+	}
+	return c.roundTrip("tree "+path+"\n", nil)
+}
+
+// Status returns the node's status block.
+func (c *Client) Status() (string, error) {
+	return c.roundTrip("status\n", nil)
+}
+
+// Write delivers data to a pseudo-file (typically a control file).
+func (c *Client) Write(path, data string) error {
+	_, err := c.roundTrip("write "+path+"\n", []byte(data))
+	return err
+}

@@ -1,0 +1,196 @@
+package adminproto
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/core"
+	"dproc/internal/metrics"
+	"dproc/internal/simres"
+)
+
+func newServer(t *testing.T) (*Server, *Client, *simres.Host) {
+	t.Helper()
+	clk := clock.NewVirtual(clock.Epoch)
+	host := simres.NewHost("alan", clk, 1)
+	host.SetNoise(0)
+	node, err := core.NewNode(core.Config{Name: "alan", Clock: clk, Source: host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	srv, err := NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, NewClient(srv.Addr()), host
+}
+
+func TestListRootAndNode(t *testing.T) {
+	_, c, _ := newServer(t)
+	entries, err := c.List("cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != "alan/" {
+		t.Fatalf("entries = %v", entries)
+	}
+	files, err := c.List("cluster/alan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != int(metrics.NumIDs)+2 { // metrics + control + config
+		t.Fatalf("files = %d, want %d", len(files), int(metrics.NumIDs)+2)
+	}
+}
+
+func TestCatMetricFile(t *testing.T) {
+	_, c, host := newServer(t)
+	host.AddTask(3)
+	out, err := c.Cat("cluster/alan/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "3.00\n" {
+		t.Fatalf("loadavg = %q", out)
+	}
+}
+
+func TestCatMissingFileErrs(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Cat("cluster/alan/nope"); err == nil {
+		t.Fatal("missing file cat succeeded")
+	}
+}
+
+func TestTree(t *testing.T) {
+	_, c, _ := newServer(t)
+	tree, err := c.Tree("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree, "alan/") || !strings.Contains(tree, "loadavg") {
+		t.Fatalf("tree = %q", tree)
+	}
+}
+
+func TestStatus(t *testing.T) {
+	_, c, _ := newServer(t)
+	out, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "node alan") || !strings.Contains(out, "CPU_MON") {
+		t.Fatalf("status = %q", out)
+	}
+}
+
+func TestWriteControlFile(t *testing.T) {
+	srv, c, _ := newServer(t)
+	if err := c.Write("cluster/alan/control", "period cpu 5"); err != nil {
+		t.Fatal(err)
+	}
+	// The setting reached d-mon through the pseudo-filesystem.
+	node := srv.node
+	if node.DMon().Period(metrics.CPU) != 5*time.Second {
+		t.Fatal("control write not applied")
+	}
+}
+
+func TestWriteMultilineFilterBody(t *testing.T) {
+	srv, c, _ := newServer(t)
+	filter := "filter all\n{ int i = 0; if (input[LOADAVG].value > 2) { output[i] = input[LOADAVG]; } }"
+	if err := c.Write("cluster/alan/control", filter); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.node.DMon().HasFilter() {
+		t.Fatal("filter deployment via admin protocol failed")
+	}
+}
+
+func TestWriteBadCommandSurfacesError(t *testing.T) {
+	_, c, _ := newServer(t)
+	err := c.Write("cluster/alan/control", "explode now")
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteReadOnlyFileErrs(t *testing.T) {
+	_, c, _ := newServer(t)
+	if err := c.Write("cluster/alan/loadavg", "1.0"); err == nil {
+		t.Fatal("write to read-only metric file succeeded")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	srv, _, _ := newServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("frobnicate\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "ERR unknown command") {
+		t.Fatalf("reply = %q", buf[:n])
+	}
+}
+
+func TestEmptyCommand(t *testing.T) {
+	srv, _, _ := newServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "ERR empty") {
+		t.Fatalf("reply = %q", buf[:n])
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	srv, c, _ := newServer(t)
+	srv.Close()
+	if _, err := c.Status(); err == nil {
+		t.Fatal("request to closed server succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _, _ := newServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, c, _ := newServer(t)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := c.Cat("cluster/alan/loadavg")
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,646 @@
+package dmon
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/ecode"
+	"dproc/internal/kecho"
+	"dproc/internal/metrics"
+	"dproc/internal/wire"
+)
+
+// Channel names used by every dproc node, per the paper's architecture: one
+// data (monitoring) channel and one control channel.
+const (
+	MonitoringChannel = "dproc.monitoring"
+	ControlChannel    = "dproc.control"
+)
+
+// DMon is the distributed monitor for one node.
+type DMon struct {
+	node string
+	clk  clock.Clock
+
+	mu       sync.Mutex
+	modules  []*Module
+	config   [metrics.NumResources]ResourceConfig
+	filters  [metrics.NumResources]*ecode.Filter // per-resource filters
+	global   *ecode.Filter                       // filter over all resources
+	lastSent [metrics.NumIDs]float64
+	lastSeen [metrics.NumIDs]float64
+	nextDue  [metrics.NumResources]time.Time
+	padding  int
+	seq      uint64
+
+	vm    *ecode.VM
+	env   *ecode.Env
+	store *Store
+
+	monCh *kecho.Channel
+	ctlCh *kecho.Channel
+
+	// FilterErrors counts filter executions that failed at run time; the
+	// affected poll falls back to unfiltered submission.
+	filterErrors uint64
+}
+
+// New creates a d-mon for the named node, registering the standard modules
+// backed by src. src may be nil if all modules are registered manually.
+func New(node string, clk clock.Clock, src Source) *DMon {
+	d := &DMon{
+		node:  node,
+		clk:   clk,
+		vm:    ecode.NewVM(),
+		store: NewStore(),
+	}
+	for r := range d.config {
+		d.config[r] = ResourceConfig{Period: DefaultPeriod}
+	}
+	if src != nil {
+		for _, m := range StandardModules(src) {
+			d.Register(m)
+		}
+	}
+	d.env = ecode.NewEnv(FilterSpec(), int(metrics.NumIDs))
+	d.env.Input = make([]ecode.Record, metrics.NumIDs)
+	return d
+}
+
+// FilterSpec returns the E-code environment spec filters are compiled
+// against: every metric's upper-case symbol bound to its ID.
+func FilterSpec() *ecode.EnvSpec {
+	consts := map[string]int64{}
+	for name, idx := range metrics.FilterSymbols() {
+		consts[name] = int64(idx)
+	}
+	return &ecode.EnvSpec{Consts: consts}
+}
+
+// Node returns the node name.
+func (d *DMon) Node() string { return d.node }
+
+// Store returns the remote-data store backing /proc/cluster.
+func (d *DMon) Store() *Store { return d.store }
+
+// FilterErrors reports how many filter executions failed at run time.
+func (d *DMon) FilterErrors() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.filterErrors
+}
+
+// Register adds a monitoring module (the paper's register service call).
+// Modules can be added at any time, including while polling is active.
+func (d *DMon) Register(m *Module) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.modules = append(d.modules, m)
+}
+
+// Modules returns the registered module names, in registration order.
+func (d *DMon) Modules() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.modules))
+	for i, m := range d.modules {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// SetPadding sets extra bytes appended to every report, used by the
+// evaluation to emulate larger monitoring events (Figure 7's 5 KB events).
+func (d *DMon) SetPadding(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.padding = n
+}
+
+// SetPeriod sets the update period for one resource class.
+func (d *DMon) SetPeriod(r metrics.Resource, period time.Duration) error {
+	if period <= 0 {
+		return errors.New("dmon: period must be positive")
+	}
+	if r < 0 || r >= metrics.NumResources {
+		return fmt.Errorf("dmon: invalid resource %d", int(r))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config[r].Period = period
+	d.nextDue[r] = time.Time{} // re-arm immediately
+	return nil
+}
+
+// Period returns the configured update period for a resource.
+func (d *DMon) Period(r metrics.Resource) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.config[r].Period
+}
+
+// AddThreshold appends a send-gating threshold to the metric's resource.
+// Thresholds with Metric == AnyMetric must be installed via
+// AddResourceThreshold, since the target resource is ambiguous otherwise.
+func (d *DMon) AddThreshold(t Threshold) error {
+	if !t.Metric.Valid() {
+		return fmt.Errorf("dmon: invalid metric %d", int(t.Metric))
+	}
+	r := t.Metric.Resource()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config[r].Thresholds = append(d.config[r].Thresholds, t)
+	return nil
+}
+
+// AddResourceThreshold appends a threshold gating every metric of resource
+// r (the threshold's Metric is forced to AnyMetric).
+func (d *DMon) AddResourceThreshold(r metrics.Resource, t Threshold) error {
+	if r < 0 || r >= metrics.NumResources {
+		return fmt.Errorf("dmon: invalid resource %d", int(r))
+	}
+	t.Metric = AnyMetric
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config[r].Thresholds = append(d.config[r].Thresholds, t)
+	return nil
+}
+
+// SetDifferential installs the paper's differential filter: each metric of
+// each resource is sent only when it varies by at least pct percent from
+// the last sent value. Applied to all resources.
+func (d *DMon) SetDifferential(pct float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r := range d.config {
+		d.config[r].Thresholds = []Threshold{{Metric: AnyMetric, Kind: DiffPercent, A: pct}}
+	}
+}
+
+// ClearThresholds removes all thresholds for one resource.
+func (d *DMon) ClearThresholds(r metrics.Resource) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config[r].Thresholds = nil
+}
+
+// ClearAllThresholds removes thresholds for every resource.
+func (d *DMon) ClearAllThresholds() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r := range d.config {
+		d.config[r].Thresholds = nil
+	}
+}
+
+// DeployFilter compiles E-code source and installs it as the filter for one
+// resource, or for all resources when all is true. Passing empty source
+// removes the filter. Compilation errors leave the previous filter intact.
+func (d *DMon) DeployFilter(r metrics.Resource, all bool, source string) error {
+	var f *ecode.Filter
+	if source != "" {
+		var err error
+		f, err = ecode.Compile(source, FilterSpec())
+		if err != nil {
+			return fmt.Errorf("dmon: compiling filter: %w", err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if all {
+		d.global = f
+		return nil
+	}
+	if r < 0 || r >= metrics.NumResources {
+		return fmt.Errorf("dmon: invalid resource %d", int(r))
+	}
+	d.filters[r] = f
+	return nil
+}
+
+// HasFilter reports whether a filter is installed (global or any resource).
+func (d *DMon) HasFilter() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.global != nil {
+		return true
+	}
+	for _, f := range d.filters {
+		if f != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigText renders the current monitoring configuration as control-file
+// text — the introspective read of the control interface, so
+// `cat cluster/<node>/config` round-trips with what was written. Filters
+// render as comments (their source may span many commands).
+func (d *DMon) ConfigText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sb strings.Builder
+	for r := metrics.Resource(0); r < metrics.NumResources; r++ {
+		cfg := d.config[r]
+		if cfg.Period != DefaultPeriod {
+			fmt.Fprintf(&sb, "period %s %g\n", r, cfg.Period.Seconds())
+		}
+		for _, th := range cfg.Thresholds {
+			switch th.Kind {
+			case DiffPercent:
+				fmt.Fprintf(&sb, "diff %s %g\n", r, th.A)
+			case Above:
+				fmt.Fprintf(&sb, "threshold %s above %g\n", th.Metric, th.A)
+			case Below:
+				fmt.Fprintf(&sb, "threshold %s below %g\n", th.Metric, th.A)
+			case InRange:
+				fmt.Fprintf(&sb, "threshold %s inrange %g %g\n", th.Metric, th.A, th.B)
+			case OutOfRange:
+				fmt.Fprintf(&sb, "threshold %s outrange %g %g\n", th.Metric, th.A, th.B)
+			}
+		}
+		if d.filters[r] != nil {
+			fmt.Fprintf(&sb, "# filter %s: %d bytes of E-code deployed\n",
+				r, len(d.filters[r].Source()))
+		}
+	}
+	if d.global != nil {
+		fmt.Fprintf(&sb, "# filter all: %d bytes of E-code deployed\n", len(d.global.Source()))
+	}
+	return sb.String()
+}
+
+// Apply executes one parsed control command against this d-mon.
+func (d *DMon) Apply(cmd Command) error {
+	switch cmd.Kind {
+	case "period":
+		if cmd.AllResources {
+			for r := metrics.Resource(0); r < metrics.NumResources; r++ {
+				if err := d.SetPeriod(r, cmd.Period); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return d.SetPeriod(cmd.Resource, cmd.Period)
+	case "diff":
+		if cmd.AllResources {
+			d.SetDifferential(cmd.Threshold.A)
+			return nil
+		}
+		d.mu.Lock()
+		d.config[cmd.Resource].Thresholds = []Threshold{cmd.Threshold}
+		d.mu.Unlock()
+		return nil
+	case "threshold":
+		return d.AddThreshold(cmd.Threshold)
+	case "clear":
+		if cmd.AllResources {
+			d.ClearAllThresholds()
+			return nil
+		}
+		d.ClearThresholds(cmd.Resource)
+		return nil
+	case "filter":
+		return d.DeployFilter(cmd.Resource, cmd.AllResources, cmd.Source)
+	}
+	return fmt.Errorf("dmon: unknown command kind %q", cmd.Kind)
+}
+
+// ApplyControlText parses and applies control-file text.
+func (d *DMon) ApplyControlText(text string) error {
+	cmds, err := ParseControl(text)
+	if err != nil {
+		return err
+	}
+	for _, cmd := range cmds {
+		if err := d.Apply(cmd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectDue runs every module whose resource period has elapsed and
+// returns the collected samples annotated with last-sent values. It also
+// refreshes the lastSeen cache for all collected metrics.
+func (d *DMon) CollectDue(now time.Time) []metrics.Sample {
+	d.mu.Lock()
+	due := make([]bool, metrics.NumResources)
+	anyDue := false
+	for r := range d.config {
+		if !now.Before(d.nextDue[r]) {
+			due[r] = true
+			anyDue = true
+			d.nextDue[r] = now.Add(d.config[r].Period)
+		}
+	}
+	mods := make([]*Module, len(d.modules))
+	copy(mods, d.modules)
+	d.mu.Unlock()
+	if !anyDue {
+		return nil
+	}
+	var samples []metrics.Sample
+	for _, m := range mods {
+		if m.Resource >= 0 && m.Resource < metrics.NumResources && !due[m.Resource] {
+			continue
+		}
+		samples = append(samples, m.Collect(now)...)
+	}
+	d.mu.Lock()
+	for i := range samples {
+		id := samples[i].ID
+		if id.Valid() {
+			samples[i].LastSent = d.lastSent[id]
+			d.lastSeen[id] = samples[i].Value
+		}
+	}
+	d.mu.Unlock()
+	return samples
+}
+
+// FilterSamples applies thresholds and any deployed filters to the
+// collected samples, returning the samples to send. It updates last-sent
+// bookkeeping for survivors.
+func (d *DMon) FilterSamples(now time.Time, samples []metrics.Sample) []metrics.Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	// Threshold pass.
+	candidates := samples[:0:0]
+	for _, s := range samples {
+		if !s.ID.Valid() {
+			continue
+		}
+		pass := true
+		for _, th := range d.config[s.ID.Resource()].Thresholds {
+			if !th.AppliesTo(s.ID) {
+				continue
+			}
+			if !th.Pass(s.Value, s.LastSent) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			candidates = append(candidates, s)
+		}
+	}
+	global := d.global
+	perRes := d.filters
+	d.mu.Unlock()
+
+	hasPerRes := false
+	for _, f := range perRes {
+		if f != nil {
+			hasPerRes = true
+			break
+		}
+	}
+	out := candidates
+	if global != nil || hasPerRes {
+		out = d.runFilters(now, candidates, global, perRes)
+	}
+	// Record what was sent.
+	d.mu.Lock()
+	for _, s := range out {
+		if s.ID.Valid() {
+			d.lastSent[s.ID] = s.Value
+		}
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// runFilters executes the deployed E-code against the candidate set. The
+// filter sees the full metric array (input[LOADAVG] etc., with current
+// values for everything observed so far) and its output determines what is
+// sent. Samples belonging to resources without any filter pass through
+// untouched.
+func (d *DMon) runFilters(now time.Time, candidates []metrics.Sample, global *ecode.Filter, perRes [metrics.NumResources]*ecode.Filter) []metrics.Sample {
+	d.mu.Lock()
+	env := d.env
+	env.Reset()
+	for id := metrics.ID(0); id < metrics.NumIDs; id++ {
+		env.Input[id] = ecode.Record{
+			Value:     d.lastSeen[id],
+			LastSent:  d.lastSent[id],
+			ID:        int64(id),
+			Timestamp: float64(now.UnixNano()) / 1e9,
+		}
+	}
+	// Candidates carry this poll's fresh values.
+	for _, s := range candidates {
+		env.Input[s.ID] = ecode.Record{
+			Value:     s.Value,
+			LastSent:  s.LastSent,
+			ID:        int64(s.ID),
+			Timestamp: float64(s.Time.UnixNano()) / 1e9,
+		}
+	}
+	vm := d.vm
+	d.mu.Unlock()
+
+	inCandidates := func(id metrics.ID) (metrics.Sample, bool) {
+		for _, s := range candidates {
+			if s.ID == id {
+				return s, true
+			}
+		}
+		return metrics.Sample{}, false
+	}
+
+	runOne := func(f *ecode.Filter, scope func(metrics.ID) bool) ([]metrics.Sample, bool) {
+		env.Reset()
+		if _, err := f.Run(vm, env); err != nil {
+			d.mu.Lock()
+			d.filterErrors++
+			d.mu.Unlock()
+			return nil, false
+		}
+		var out []metrics.Sample
+		for i := 0; i < env.OutCount(); i++ {
+			rec := env.Output[i]
+			id := metrics.ID(rec.ID)
+			if !id.Valid() || !scope(id) {
+				continue
+			}
+			s := metrics.Sample{ID: id, Value: rec.Value, LastSent: rec.LastSent, Time: now}
+			if orig, ok := inCandidates(id); ok {
+				s.Time = orig.Time
+			}
+			out = append(out, s)
+		}
+		return out, true
+	}
+
+	if global != nil {
+		out, ok := runOne(global, func(metrics.ID) bool { return true })
+		if !ok {
+			return candidates // fall back to unfiltered on filter failure
+		}
+		return out
+	}
+	// Per-resource filters: filtered resources are replaced by their filter
+	// output; unfiltered resources pass through.
+	var out []metrics.Sample
+	for _, s := range candidates {
+		if perRes[s.ID.Resource()] == nil {
+			out = append(out, s)
+		}
+	}
+	for r := metrics.Resource(0); r < metrics.NumResources; r++ {
+		f := perRes[r]
+		if f == nil {
+			continue
+		}
+		res := r
+		filtered, ok := runOne(f, func(id metrics.ID) bool { return id.Resource() == res })
+		if !ok {
+			// Fall back to this resource's unfiltered candidates.
+			for _, s := range candidates {
+				if s.ID.Resource() == res {
+					out = append(out, s)
+				}
+			}
+			continue
+		}
+		out = append(out, filtered...)
+	}
+	return out
+}
+
+// BuildReport wraps samples in a report ready for submission.
+func (d *DMon) BuildReport(now time.Time, samples []metrics.Sample) *metrics.Report {
+	d.mu.Lock()
+	d.seq++
+	seq := d.seq
+	pad := d.padding
+	d.mu.Unlock()
+	r := &metrics.Report{Node: d.node, Seq: seq, Time: now, Samples: samples}
+	if pad > 0 {
+		r.Padding = make([]byte, pad)
+	}
+	return r
+}
+
+// PollOnce performs one complete d-mon polling iteration: collect due
+// samples, apply parameters and filters, and submit the surviving report to
+// the monitoring channel. It returns the report (nil if nothing was due or
+// everything was filtered) and the number of peers it was sent to.
+func (d *DMon) PollOnce() (*metrics.Report, int, error) {
+	now := d.clk.Now()
+	samples := d.CollectDue(now)
+	if len(samples) == 0 {
+		return nil, 0, nil
+	}
+	send := d.FilterSamples(now, samples)
+	if len(send) == 0 {
+		return nil, 0, nil
+	}
+	report := d.BuildReport(now, send)
+	d.mu.Lock()
+	mon := d.monCh
+	d.mu.Unlock()
+	if mon == nil {
+		return report, 0, nil
+	}
+	n, err := mon.Submit(report.Encode())
+	return report, n, err
+}
+
+// --- channel wiring ---
+
+// Attach connects d-mon to its monitoring and control channels: incoming
+// monitoring events update the store, incoming control events are parsed
+// and applied when addressed to this node (or broadcast).
+func (d *DMon) Attach(mon, ctl *kecho.Channel) {
+	d.mu.Lock()
+	d.monCh = mon
+	d.ctlCh = ctl
+	d.mu.Unlock()
+	if mon != nil {
+		mon.Subscribe(func(ev kecho.Event) {
+			report, err := metrics.DecodeReport(ev.Payload)
+			if err != nil {
+				return
+			}
+			d.store.Update(report)
+		})
+	}
+	if ctl != nil {
+		ctl.Subscribe(func(ev kecho.Event) {
+			target, text, err := DecodeControl(ev.Payload)
+			if err != nil {
+				return
+			}
+			if target != "" && target != d.node {
+				return
+			}
+			_ = d.ApplyControlText(text)
+		})
+	}
+}
+
+// PollChannels drains both channels' inboxes, dispatching handlers. Returns
+// the number of events handled. This is the receive half of d-mon's
+// per-second poll loop.
+func (d *DMon) PollChannels() int {
+	d.mu.Lock()
+	mon, ctl := d.monCh, d.ctlCh
+	d.mu.Unlock()
+	n := 0
+	if mon != nil {
+		n += mon.Poll()
+	}
+	if ctl != nil {
+		n += ctl.Poll()
+	}
+	return n
+}
+
+// SendControl publishes a control command to a remote node via the control
+// channel. target == "" broadcasts to all nodes.
+func (d *DMon) SendControl(target, text string) error {
+	d.mu.Lock()
+	ctl := d.ctlCh
+	d.mu.Unlock()
+	if ctl == nil {
+		return errors.New("dmon: no control channel attached")
+	}
+	payload := EncodeControl(target, text)
+	if target == "" {
+		_, err := ctl.Submit(payload)
+		return err
+	}
+	return ctl.SubmitTo(target, payload)
+}
+
+// EncodeControl builds the control-channel wire payload.
+func EncodeControl(target, text string) []byte {
+	e := wire.NewEncoder(16 + len(target) + len(text))
+	e.String(target)
+	e.String(text)
+	return e.Bytes()
+}
+
+// DecodeControl parses a control-channel payload.
+func DecodeControl(payload []byte) (target, text string, err error) {
+	dec := wire.NewDecoder(payload)
+	target = dec.String()
+	text = dec.String()
+	if err := dec.Finish(); err != nil {
+		return "", "", err
+	}
+	return target, text, nil
+}

@@ -1,0 +1,266 @@
+// Package dmon implements d-mon, the distributed monitor module at the
+// heart of dproc (Figure 2 of the paper). d-mon maintains the registered
+// monitoring modules (CPU_MON, MEM_MON, DISK_MON, NET_MON, PMC), polls them
+// at configurable periods, applies threshold parameters and dynamically
+// deployed E-code filters to decide what to publish, submits the surviving
+// samples to the KECho monitoring channel, and folds reports received from
+// remote d-mons into a store that backs the /proc/cluster hierarchy.
+package dmon
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"dproc/internal/metrics"
+)
+
+// ThresholdKind enumerates the paper's threshold comparison forms:
+// percentage variation from the last sent value, upper/lower bounds, and
+// min/max ranges.
+type ThresholdKind int
+
+// Threshold kinds.
+const (
+	// DiffPercent sends only if the value varies by at least A percent from
+	// the last value sent (the paper's "differential filter").
+	DiffPercent ThresholdKind = iota
+	// Above sends only while the value exceeds A.
+	Above
+	// Below sends only while the value is less than A.
+	Below
+	// InRange sends only while A <= value <= B.
+	InRange
+	// OutOfRange sends only while the value is outside [A, B].
+	OutOfRange
+)
+
+var thresholdNames = map[ThresholdKind]string{
+	DiffPercent: "diff", Above: "above", Below: "below",
+	InRange: "inrange", OutOfRange: "outrange",
+}
+
+// String names the threshold kind as used in control files.
+func (k ThresholdKind) String() string {
+	if s, ok := thresholdNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("threshold(%d)", int(k))
+}
+
+// AnyMetric marks a threshold that gates every metric of its resource
+// (used by the differential filter, which applies across the board).
+const AnyMetric metrics.ID = -1
+
+// Threshold is one send-gating condition on a metric. Metric == AnyMetric
+// applies the condition to all metrics of the resource it is installed on.
+type Threshold struct {
+	Metric metrics.ID
+	Kind   ThresholdKind
+	A, B   float64
+}
+
+// AppliesTo reports whether the threshold gates the given metric.
+func (t Threshold) AppliesTo(id metrics.ID) bool {
+	return t.Metric == AnyMetric || t.Metric == id
+}
+
+// Pass reports whether a sample with the given current and last-sent values
+// satisfies the threshold (i.e. should be sent).
+func (t Threshold) Pass(value, lastSent float64) bool {
+	switch t.Kind {
+	case DiffPercent:
+		if lastSent == 0 {
+			return value != 0
+		}
+		return math.Abs(value-lastSent) >= t.A/100*math.Abs(lastSent)
+	case Above:
+		return value > t.A
+	case Below:
+		return value < t.A
+	case InRange:
+		return value >= t.A && value <= t.B
+	case OutOfRange:
+		return value < t.A || value > t.B
+	}
+	return true
+}
+
+// ResourceConfig holds the tunable parameters for one resource class, as
+// written through its control file.
+type ResourceConfig struct {
+	// Period is the update period; monitoring data for this resource is
+	// collected and considered for sending once per period.
+	Period time.Duration
+	// Thresholds all must pass for a metric of this resource to be sent
+	// (the paper's "update every 2 seconds IF utilization is above 80%").
+	Thresholds []Threshold
+}
+
+// DefaultPeriod is the paper's default 1-second update period.
+const DefaultPeriod = time.Second
+
+// Command is one parsed control-file directive.
+type Command struct {
+	// Kind is one of "period", "diff", "threshold", "clear", "filter".
+	Kind string
+	// Resource is the target resource class (period/diff/clear, and filter
+	// scope; FilterAll means the filter applies to all resources).
+	Resource metrics.Resource
+	// AllResources marks commands addressed to every resource.
+	AllResources bool
+	// Threshold carries the parsed threshold for "threshold" commands.
+	Threshold Threshold
+	// Period carries the parsed period for "period" commands.
+	Period time.Duration
+	// Source carries E-code text for "filter" commands.
+	Source string
+}
+
+// ParseControl parses the text written to a control file into commands.
+// Grammar (one command per line; '#' starts a comment):
+//
+//	period <resource> <seconds>
+//	diff <resource> <percent>
+//	threshold <metric> above|below <x>
+//	threshold <metric> inrange|outrange <lo> <hi>
+//	clear <resource|all>
+//	filter <resource|all>
+//	<E-code source on the remaining lines>
+//
+// The filter command consumes the rest of the input as filter source, since
+// E-code bodies span multiple lines.
+func ParseControl(text string) ([]Command, error) {
+	var cmds []Command
+	lines := strings.Split(text, "\n")
+	for li := 0; li < len(lines); li++ {
+		line := strings.TrimSpace(lines[li])
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "period":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dmon: usage: period <resource> <seconds> (line %d)", li+1)
+			}
+			res, err := parseResource(fields[1], li)
+			if err != nil {
+				return nil, err
+			}
+			secs, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || secs <= 0 {
+				return nil, fmt.Errorf("dmon: bad period %q (line %d)", fields[2], li+1)
+			}
+			cmds = append(cmds, Command{
+				Kind: "period", Resource: res.r, AllResources: res.all,
+				Period: time.Duration(secs * float64(time.Second)),
+			})
+		case "diff":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dmon: usage: diff <resource> <percent> (line %d)", li+1)
+			}
+			res, err := parseResource(fields[1], li)
+			if err != nil {
+				return nil, err
+			}
+			pct, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || pct < 0 {
+				return nil, fmt.Errorf("dmon: bad percent %q (line %d)", fields[2], li+1)
+			}
+			cmds = append(cmds, Command{
+				Kind: "diff", Resource: res.r, AllResources: res.all,
+				Threshold: Threshold{Metric: AnyMetric, Kind: DiffPercent, A: pct},
+			})
+		case "threshold":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("dmon: usage: threshold <metric> <kind> <values> (line %d)", li+1)
+			}
+			id, ok := metrics.ParseID(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("dmon: unknown metric %q (line %d)", fields[1], li+1)
+			}
+			th := Threshold{Metric: id}
+			switch fields[2] {
+			case "above", "below":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("dmon: %s takes one value (line %d)", fields[2], li+1)
+				}
+				v, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dmon: bad value %q (line %d)", fields[3], li+1)
+				}
+				th.A = v
+				if fields[2] == "above" {
+					th.Kind = Above
+				} else {
+					th.Kind = Below
+				}
+			case "inrange", "outrange":
+				if len(fields) != 5 {
+					return nil, fmt.Errorf("dmon: %s takes two values (line %d)", fields[2], li+1)
+				}
+				lo, err1 := strconv.ParseFloat(fields[3], 64)
+				hi, err2 := strconv.ParseFloat(fields[4], 64)
+				if err1 != nil || err2 != nil || lo > hi {
+					return nil, fmt.Errorf("dmon: bad range (line %d)", li+1)
+				}
+				th.A, th.B = lo, hi
+				if fields[2] == "inrange" {
+					th.Kind = InRange
+				} else {
+					th.Kind = OutOfRange
+				}
+			default:
+				return nil, fmt.Errorf("dmon: unknown threshold kind %q (line %d)", fields[2], li+1)
+			}
+			cmds = append(cmds, Command{Kind: "threshold", Resource: id.Resource(), Threshold: th})
+		case "clear":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dmon: usage: clear <resource|all> (line %d)", li+1)
+			}
+			res, err := parseResource(fields[1], li)
+			if err != nil {
+				return nil, err
+			}
+			cmds = append(cmds, Command{Kind: "clear", Resource: res.r, AllResources: res.all})
+		case "filter":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dmon: usage: filter <resource|all>\\n<code> (line %d)", li+1)
+			}
+			res, err := parseResource(fields[1], li)
+			if err != nil {
+				return nil, err
+			}
+			source := strings.Join(lines[li+1:], "\n")
+			if strings.TrimSpace(source) == "" {
+				return nil, fmt.Errorf("dmon: filter command without code (line %d)", li+1)
+			}
+			cmds = append(cmds, Command{
+				Kind: "filter", Resource: res.r, AllResources: res.all, Source: source,
+			})
+			return cmds, nil // filter consumes the rest
+		default:
+			return nil, fmt.Errorf("dmon: unknown command %q (line %d)", fields[0], li+1)
+		}
+	}
+	return cmds, nil
+}
+
+type resourceArg struct {
+	r   metrics.Resource
+	all bool
+}
+
+func parseResource(s string, line int) (resourceArg, error) {
+	if s == "all" {
+		return resourceArg{all: true}, nil
+	}
+	r, ok := metrics.ParseResource(s)
+	if !ok {
+		return resourceArg{}, fmt.Errorf("dmon: unknown resource %q (line %d)", s, line+1)
+	}
+	return resourceArg{r: r}, nil
+}

@@ -1,0 +1,161 @@
+package dmon
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dproc/internal/metrics"
+)
+
+// HistoryDepth is how many past samples the store retains per (node,
+// metric) — a small circular buffer in the spirit of MAGNeT's in-kernel
+// event ring, letting applications inspect recent trends rather than only
+// the latest value.
+const HistoryDepth = 64
+
+// ring is a fixed-capacity circular buffer of samples.
+type ring struct {
+	buf   [HistoryDepth]metrics.Sample
+	start int
+	n     int
+}
+
+func (r *ring) push(s metrics.Sample) {
+	if r.n < HistoryDepth {
+		r.buf[(r.start+r.n)%HistoryDepth] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % HistoryDepth
+}
+
+// slice returns up to n samples, oldest first (all if n <= 0).
+func (r *ring) slice(n int) []metrics.Sample {
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]metrics.Sample, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(r.start+r.n-n+i)%HistoryDepth]
+	}
+	return out
+}
+
+// Store holds the most recent monitoring data received from remote nodes.
+// It is the backing state for the /proc/cluster/<node>/<metric> pseudo-files.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]map[metrics.ID]metrics.Sample
+	hist    map[string]map[metrics.ID]*ring
+	lastRpt map[string]time.Time
+	reports map[string]uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		data:    map[string]map[metrics.ID]metrics.Sample{},
+		hist:    map[string]map[metrics.ID]*ring{},
+		lastRpt: map[string]time.Time{},
+		reports: map[string]uint64{},
+	}
+}
+
+// Update folds one received report into the store.
+func (s *Store) Update(r *metrics.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nodeData, ok := s.data[r.Node]
+	if !ok {
+		nodeData = map[metrics.ID]metrics.Sample{}
+		s.data[r.Node] = nodeData
+	}
+	nodeHist, ok := s.hist[r.Node]
+	if !ok {
+		nodeHist = map[metrics.ID]*ring{}
+		s.hist[r.Node] = nodeHist
+	}
+	for _, sample := range r.Samples {
+		nodeData[sample.ID] = sample
+		rg, ok := nodeHist[sample.ID]
+		if !ok {
+			rg = &ring{}
+			nodeHist[sample.ID] = rg
+		}
+		rg.push(sample)
+	}
+	if r.Time.After(s.lastRpt[r.Node]) {
+		s.lastRpt[r.Node] = r.Time
+	}
+	s.reports[r.Node]++
+}
+
+// History returns up to n retained samples for (node, metric), oldest
+// first; n <= 0 returns everything retained.
+func (s *Store) History(node string, id metrics.ID, n int) []metrics.Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rg, ok := s.hist[node][id]
+	if !ok {
+		return nil
+	}
+	return rg.slice(n)
+}
+
+// Get returns the latest sample for (node, metric).
+func (s *Store) Get(node string, id metrics.ID) (metrics.Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sample, ok := s.data[node][id]
+	return sample, ok
+}
+
+// Value returns just the value for (node, metric), with ok=false if absent.
+func (s *Store) Value(node string, id metrics.ID) (float64, bool) {
+	sample, ok := s.Get(node, id)
+	return sample.Value, ok
+}
+
+// Nodes lists the nodes that have reported, sorted.
+func (s *Store) Nodes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for n := range s.data {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics lists the metric IDs known for a node, sorted.
+func (s *Store) Metrics(node string) []metrics.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]metrics.ID, 0, len(s.data[node]))
+	for id := range s.data[node] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastReport returns when a node last reported and how many reports it has
+// sent.
+func (s *Store) LastReport(node string) (time.Time, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastRpt[node], s.reports[node]
+}
+
+// Forget drops all state for a node (e.g. after it leaves the cluster).
+func (s *Store) Forget(node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, node)
+	delete(s.hist, node)
+	delete(s.lastRpt, node)
+	delete(s.reports, node)
+}

@@ -1,0 +1,111 @@
+package dmon
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/metrics"
+)
+
+func reportAt(node string, seq uint64, value float64) *metrics.Report {
+	ts := clock.Epoch.Add(time.Duration(seq) * time.Second)
+	return &metrics.Report{
+		Node: node, Seq: seq, Time: ts,
+		Samples: []metrics.Sample{{ID: metrics.LOADAVG, Value: value, Time: ts}},
+	}
+}
+
+func TestHistoryAccumulatesInOrder(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 5; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	h := s.History("alan", metrics.LOADAVG, 0)
+	if len(h) != 5 {
+		t.Fatalf("history length = %d", len(h))
+	}
+	for i, sample := range h {
+		if sample.Value != float64(i+1) {
+			t.Fatalf("history = %v, want oldest-first 1..5", h)
+		}
+	}
+	// A bounded request returns the most recent n.
+	h2 := s.History("alan", metrics.LOADAVG, 2)
+	if len(h2) != 2 || h2[0].Value != 4 || h2[1].Value != 5 {
+		t.Fatalf("History(2) = %v", h2)
+	}
+}
+
+func TestHistoryRingWrapsAtDepth(t *testing.T) {
+	s := NewStore()
+	total := HistoryDepth + 17
+	for i := 1; i <= total; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	h := s.History("alan", metrics.LOADAVG, 0)
+	if len(h) != HistoryDepth {
+		t.Fatalf("history length = %d, want %d", len(h), HistoryDepth)
+	}
+	// Oldest retained is total-HistoryDepth+1.
+	if h[0].Value != float64(total-HistoryDepth+1) || h[len(h)-1].Value != float64(total) {
+		t.Fatalf("history range = [%g, %g]", h[0].Value, h[len(h)-1].Value)
+	}
+}
+
+func TestHistoryMissingNodeOrMetric(t *testing.T) {
+	s := NewStore()
+	if h := s.History("ghost", metrics.LOADAVG, 0); h != nil {
+		t.Fatalf("history for unknown node = %v", h)
+	}
+	s.Update(reportAt("alan", 1, 1))
+	if h := s.History("alan", metrics.FREEMEM, 0); h != nil {
+		t.Fatalf("history for unreported metric = %v", h)
+	}
+}
+
+func TestHistoryForgottenWithNode(t *testing.T) {
+	s := NewStore()
+	s.Update(reportAt("alan", 1, 1))
+	s.Forget("alan")
+	if h := s.History("alan", metrics.LOADAVG, 0); h != nil {
+		t.Fatal("history survived Forget")
+	}
+}
+
+// Property: for any sequence of pushes, the ring holds the most recent
+// min(len, depth) values in order.
+func TestQuickRingSemantics(t *testing.T) {
+	f := func(values []float64) bool {
+		var r ring
+		for i, v := range values {
+			r.push(metrics.Sample{ID: metrics.LOADAVG, Value: v, Time: clock.Epoch.Add(time.Duration(i))})
+		}
+		want := values
+		if len(want) > HistoryDepth {
+			want = want[len(want)-HistoryDepth:]
+		}
+		got := r.slice(0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			gv, wv := got[i].Value, want[i]
+			if gv != wv && !(gv != gv && wv != wv) { // NaN-safe
+				return false
+			}
+		}
+		// Partial reads return suffixes.
+		if len(want) >= 3 {
+			part := r.slice(3)
+			if len(part) != 3 || (part[2].Value != want[len(want)-1] && part[2].Value == part[2].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

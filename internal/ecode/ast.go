@@ -1,0 +1,243 @@
+package ecode
+
+// Type is the static type of an expression. E-code collapses C's int/long
+// into a 64-bit integer and float/double into a 64-bit float, matching the
+// paper's "small subset of C".
+type Type int
+
+// Static types.
+const (
+	TypeInvalid Type = iota
+	TypeInt          // int, long
+	TypeFloat        // float, double
+	TypeRecord       // a monitoring record (input[i] / output[i])
+	TypeVoid
+)
+
+// String names the type for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "double"
+	case TypeRecord:
+		return "record"
+	case TypeVoid:
+		return "void"
+	default:
+		return "invalid"
+	}
+}
+
+// Field identifies a record field. These names are the paper's filter ABI
+// (Figure 3 uses .value and .last_value_sent).
+type Field int
+
+// Record fields.
+const (
+	FieldValue     Field = iota // value: double
+	FieldLastSent               // last_value_sent: double
+	FieldID                     // id: int (metric identifier)
+	FieldTimestamp              // timestamp: double, seconds since epoch
+	NumFields
+)
+
+var fieldNames = map[string]Field{
+	"value":           FieldValue,
+	"last_value_sent": FieldLastSent,
+	"id":              FieldID,
+	"timestamp":       FieldTimestamp,
+}
+
+// fieldType returns the static type of a record field.
+func fieldType(f Field) Type {
+	if f == FieldID {
+		return TypeInt
+	}
+	return TypeFloat
+}
+
+// Expr is an expression node. After type checking, every expression carries
+// its resolved static type.
+type Expr interface {
+	exprPos() Pos
+	exprType() Type
+}
+
+type exprBase struct {
+	Pos Pos
+	Typ Type
+}
+
+func (e *exprBase) exprPos() Pos   { return e.Pos }
+func (e *exprBase) exprType() Type { return e.Typ }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// VarKind says where an identifier's storage lives.
+type VarKind int
+
+// Identifier storage classes.
+const (
+	VarLocal  VarKind = iota // function-local slot
+	VarGlobal                // scalar global from the Env
+	VarConst                 // integer constant from the EnvSpec
+	VarArray                 // the input/output record arrays
+)
+
+// Ident is a resolved identifier reference.
+type Ident struct {
+	exprBase
+	Name string
+	Kind VarKind
+	Slot int   // local slot or global index
+	Val  int64 // value when Kind == VarConst
+	// Arr identifies which record array when Kind == VarArray.
+	Arr ArrayRef
+}
+
+// ArrayRef identifies one of the two record arrays visible to a filter.
+type ArrayRef int
+
+// Record arrays.
+const (
+	ArrInput ArrayRef = iota
+	ArrOutput
+)
+
+// Index is arr[expr] over a record array. Name carries the source identifier
+// until the checker resolves it to Arr.
+type Index struct {
+	exprBase
+	Name  string
+	Arr   ArrayRef
+	Inner Expr
+}
+
+// Member is rec.field.
+type Member struct {
+	exprBase
+	Rec   Expr
+	Field Field
+}
+
+// Unary is a prefix operator application: -x, !x, ~x.
+type Unary struct {
+	exprBase
+	Op Kind
+	X  Expr
+}
+
+// IncDec is a prefix or postfix ++/-- on an lvalue.
+type IncDec struct {
+	exprBase
+	Op     Kind // Inc or Dec
+	X      Expr // lvalue
+	Prefix bool
+}
+
+// Binary is a binary operator application. For && and || the operands
+// short-circuit.
+type Binary struct {
+	exprBase
+	Op   Kind
+	L, R Expr
+}
+
+// Cond is the ternary operator c ? a : b.
+type Cond struct {
+	exprBase
+	C, Then, Else Expr
+}
+
+// Assign2 is an assignment or compound assignment. For record-typed targets
+// only plain '=' is legal and it copies the whole record.
+type Assign2 struct {
+	exprBase
+	Op   Kind // Assign, PlusAssign, ...
+	L, R Expr
+}
+
+// Conv is an implicit numeric conversion inserted by the type checker.
+type Conv struct {
+	exprBase
+	X Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+type stmtBase struct{ Pos Pos }
+
+func (s *stmtBase) stmtPos() Pos { return s.Pos }
+
+// DeclStmt declares one local variable, optionally initialized.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Slot int
+	Typ  Type
+	Init Expr // nil means zero-initialize
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is if (cond) then else els.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is for (init; cond; post) body. Init may be a declaration list.
+type ForStmt struct {
+	stmtBase
+	Init []Stmt // zero or more DeclStmt/ExprStmt
+	Cond Expr   // nil means true
+	Post Expr   // may be nil
+	Body Stmt
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for bare return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ stmtBase }
+
+// BlockStmt is a { ... } sequence introducing a scope. NoScope marks
+// synthetic groups (multi-variable declarations) whose names must land in
+// the enclosing scope.
+type BlockStmt struct {
+	stmtBase
+	List    []Stmt
+	NoScope bool
+}

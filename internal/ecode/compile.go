@@ -1,0 +1,485 @@
+package ecode
+
+// The compiler lowers the checked AST to bytecode. Invariant: evaluating any
+// expression leaves exactly one value on the stack (assignments leave the
+// assigned value, record assignments leave the destination reference), so
+// statement compilation always knows the stack depth.
+
+type compiler struct {
+	code []Instr
+	// loop context for break/continue backpatching
+	breakPatches    [][]int
+	continueTargets []int
+	continuePatches [][]int
+}
+
+// compileProgram lowers checked statements into a Program.
+func compileProgram(stmts []Stmt, frameSize int, source string) (*Program, error) {
+	c := &compiler{}
+	for _, s := range stmts {
+		if err := c.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	c.emit(Instr{Op: OpRetVoid})
+	return &Program{Code: c.code, FrameSize: frameSize, Source: source}, nil
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+func (c *compiler) here() int { return len(c.code) }
+
+func (c *compiler) patch(at, target int) { c.code[at].A = int32(target) }
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := c.expr(st.Init); err != nil {
+				return err
+			}
+		} else if st.Typ == TypeFloat {
+			c.emit(Instr{Op: OpConstF, F: 0})
+		} else {
+			c.emit(Instr{Op: OpConstI, I: 0})
+		}
+		c.emit(Instr{Op: OpStoreLoc, A: int32(st.Slot)})
+		c.emit(Instr{Op: OpPop})
+		return nil
+	case *ExprStmt:
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpPop})
+		return nil
+	case *IfStmt:
+		if err := c.condExpr(st.Cond); err != nil {
+			return err
+		}
+		jElse := c.emit(Instr{Op: OpJumpZ})
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			c.patch(jElse, c.here())
+			return nil
+		}
+		jEnd := c.emit(Instr{Op: OpJump})
+		c.patch(jElse, c.here())
+		if err := c.stmt(st.Else); err != nil {
+			return err
+		}
+		c.patch(jEnd, c.here())
+		return nil
+	case *ForStmt:
+		for _, init := range st.Init {
+			if err := c.stmt(init); err != nil {
+				return err
+			}
+		}
+		condAt := c.here()
+		var jExit int = -1
+		if st.Cond != nil {
+			if err := c.condExpr(st.Cond); err != nil {
+				return err
+			}
+			jExit = c.emit(Instr{Op: OpJumpZ})
+		}
+		c.pushLoop()
+		if err := c.stmt(st.Body); err != nil {
+			return err
+		}
+		postAt := c.here()
+		if st.Post != nil {
+			if err := c.expr(st.Post); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpPop})
+		}
+		c.emit(Instr{Op: OpJump, A: int32(condAt)})
+		end := c.here()
+		if jExit >= 0 {
+			c.patch(jExit, end)
+		}
+		c.popLoop(end, postAt)
+		return nil
+	case *WhileStmt:
+		condAt := c.here()
+		if err := c.condExpr(st.Cond); err != nil {
+			return err
+		}
+		jExit := c.emit(Instr{Op: OpJumpZ})
+		c.pushLoop()
+		if err := c.stmt(st.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpJump, A: int32(condAt)})
+		end := c.here()
+		c.patch(jExit, end)
+		c.popLoop(end, condAt)
+		return nil
+	case *ReturnStmt:
+		if st.X == nil {
+			c.emit(Instr{Op: OpRetVoid})
+			return nil
+		}
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		if st.X.exprType() == TypeFloat {
+			c.emit(Instr{Op: OpRetF})
+		} else {
+			c.emit(Instr{Op: OpRetI})
+		}
+		return nil
+	case *BreakStmt:
+		n := len(c.breakPatches) - 1
+		at := c.emit(Instr{Op: OpJump})
+		c.breakPatches[n] = append(c.breakPatches[n], at)
+		return nil
+	case *ContinueStmt:
+		n := len(c.continuePatches) - 1
+		at := c.emit(Instr{Op: OpJump})
+		c.continuePatches[n] = append(c.continuePatches[n], at)
+		return nil
+	case *BlockStmt:
+		for _, inner := range st.List {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return errf(s.stmtPos(), "internal: compiling unknown statement %T", s)
+}
+
+func (c *compiler) pushLoop() {
+	c.breakPatches = append(c.breakPatches, nil)
+	c.continuePatches = append(c.continuePatches, nil)
+}
+
+func (c *compiler) popLoop(breakTarget, continueTarget int) {
+	n := len(c.breakPatches) - 1
+	for _, at := range c.breakPatches[n] {
+		c.patch(at, breakTarget)
+	}
+	for _, at := range c.continuePatches[n] {
+		c.patch(at, continueTarget)
+	}
+	c.breakPatches = c.breakPatches[:n]
+	c.continuePatches = c.continuePatches[:n]
+}
+
+// condExpr evaluates x and leaves an int truth value on the stack.
+func (c *compiler) condExpr(x Expr) error {
+	if err := c.expr(x); err != nil {
+		return err
+	}
+	if x.exprType() == TypeFloat {
+		c.emit(Instr{Op: OpBoolF})
+	}
+	return nil
+}
+
+func (c *compiler) expr(x Expr) error {
+	switch e := x.(type) {
+	case *IntLit:
+		c.emit(Instr{Op: OpConstI, I: e.Value})
+		return nil
+	case *FloatLit:
+		c.emit(Instr{Op: OpConstF, F: e.Value})
+		return nil
+	case *Ident:
+		switch e.Kind {
+		case VarLocal:
+			c.emit(Instr{Op: OpLoadLoc, A: int32(e.Slot)})
+		case VarGlobal:
+			if e.Typ == TypeFloat {
+				c.emit(Instr{Op: OpLoadGF, A: int32(e.Slot)})
+			} else {
+				c.emit(Instr{Op: OpLoadGI, A: int32(e.Slot)})
+			}
+		case VarConst:
+			c.emit(Instr{Op: OpConstI, I: e.Val})
+		case varBuiltin:
+			c.emit(Instr{Op: OpBuiltin, A: int32(e.Slot)})
+		default:
+			return errf(e.Pos, "internal: loading ident kind %d", e.Kind)
+		}
+		return nil
+	case *Index:
+		if err := c.expr(e.Inner); err != nil {
+			return err
+		}
+		if e.Arr == ArrInput {
+			c.emit(Instr{Op: OpIndexIn})
+		} else {
+			c.emit(Instr{Op: OpIndexOut})
+		}
+		return nil
+	case *Member:
+		if err := c.expr(e.Rec); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpRecLoadF, A: int32(e.Field)})
+		return nil
+	case *Conv:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if e.Typ == TypeFloat {
+			c.emit(Instr{Op: OpI2F})
+		} else {
+			c.emit(Instr{Op: OpF2I})
+		}
+		return nil
+	case *Unary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case Minus:
+			if e.Typ == TypeFloat {
+				c.emit(Instr{Op: OpNegF})
+			} else {
+				c.emit(Instr{Op: OpNegI})
+			}
+		case Not:
+			if e.X.exprType() == TypeFloat {
+				c.emit(Instr{Op: OpBoolF})
+			}
+			c.emit(Instr{Op: OpNotI})
+		case Tilde:
+			c.emit(Instr{Op: OpBNotI})
+		}
+		return nil
+	case *IncDec:
+		return c.incDec(e)
+	case *Binary:
+		return c.binary(e)
+	case *Cond:
+		if err := c.condExpr(e.C); err != nil {
+			return err
+		}
+		jElse := c.emit(Instr{Op: OpJumpZ})
+		if err := c.expr(e.Then); err != nil {
+			return err
+		}
+		jEnd := c.emit(Instr{Op: OpJump})
+		c.patch(jElse, c.here())
+		if err := c.expr(e.Else); err != nil {
+			return err
+		}
+		c.patch(jEnd, c.here())
+		return nil
+	case *Assign2:
+		return c.assign(e)
+	}
+	return errf(x.exprPos(), "internal: compiling unknown expression %T", x)
+}
+
+func (c *compiler) incDec(e *IncDec) error {
+	id := e.X.(*Ident) // checker guarantees a scalar variable
+	load, store := c.varOps(id)
+	one := Instr{Op: OpConstI, I: 1}
+	addOp, subOp := OpAddI, OpSubI
+	if id.Typ == TypeFloat {
+		one = Instr{Op: OpConstF, F: 1}
+		addOp, subOp = OpAddF, OpSubF
+	}
+	op := addOp
+	if e.Op == Dec {
+		op = subOp
+	}
+	c.emit(load)
+	if e.Prefix {
+		c.emit(one)
+		c.emit(Instr{Op: op})
+		c.emit(store)
+		return nil
+	}
+	// Postfix: leave the old value below, store the new one, pop it.
+	c.emit(Instr{Op: OpDup})
+	c.emit(one)
+	c.emit(Instr{Op: op})
+	c.emit(store)
+	c.emit(Instr{Op: OpPop})
+	return nil
+}
+
+// varOps returns the load and store instructions for a scalar variable.
+func (c *compiler) varOps(id *Ident) (load, store Instr) {
+	if id.Kind == VarLocal {
+		return Instr{Op: OpLoadLoc, A: int32(id.Slot)}, Instr{Op: OpStoreLoc, A: int32(id.Slot)}
+	}
+	if id.Typ == TypeFloat {
+		return Instr{Op: OpLoadGF, A: int32(id.Slot)}, Instr{Op: OpStoreGF, A: int32(id.Slot)}
+	}
+	return Instr{Op: OpLoadGI, A: int32(id.Slot)}, Instr{Op: OpStoreGI, A: int32(id.Slot)}
+}
+
+func (c *compiler) binary(e *Binary) error {
+	switch e.Op {
+	case AndAnd:
+		if err := c.condExpr(e.L); err != nil {
+			return err
+		}
+		jF1 := c.emit(Instr{Op: OpJumpZ})
+		if err := c.condExpr(e.R); err != nil {
+			return err
+		}
+		jF2 := c.emit(Instr{Op: OpJumpZ})
+		c.emit(Instr{Op: OpConstI, I: 1})
+		jEnd := c.emit(Instr{Op: OpJump})
+		c.patch(jF1, c.here())
+		c.patch(jF2, c.here())
+		c.emit(Instr{Op: OpConstI, I: 0})
+		c.patch(jEnd, c.here())
+		return nil
+	case OrOr:
+		if err := c.condExpr(e.L); err != nil {
+			return err
+		}
+		jT1 := c.emit(Instr{Op: OpJumpNZ})
+		if err := c.condExpr(e.R); err != nil {
+			return err
+		}
+		jT2 := c.emit(Instr{Op: OpJumpNZ})
+		c.emit(Instr{Op: OpConstI, I: 0})
+		jEnd := c.emit(Instr{Op: OpJump})
+		c.patch(jT1, c.here())
+		c.patch(jT2, c.here())
+		c.emit(Instr{Op: OpConstI, I: 1})
+		c.patch(jEnd, c.here())
+		return nil
+	}
+	if err := c.expr(e.L); err != nil {
+		return err
+	}
+	if err := c.expr(e.R); err != nil {
+		return err
+	}
+	// For comparisons the operand type decides the opcode; for arithmetic
+	// the result type does (they coincide for arithmetic).
+	operandFloat := e.L.exprType() == TypeFloat
+	var op Opcode
+	switch e.Op {
+	case Plus:
+		op = pick(operandFloat, OpAddF, OpAddI)
+	case Minus:
+		op = pick(operandFloat, OpSubF, OpSubI)
+	case Star:
+		op = pick(operandFloat, OpMulF, OpMulI)
+	case Slash:
+		op = pick(operandFloat, OpDivF, OpDivI)
+	case Percent:
+		op = OpModI
+	case Amp:
+		op = OpAndI
+	case Pipe:
+		op = OpOrI
+	case Caret:
+		op = OpXorI
+	case Shl:
+		op = OpShlI
+	case Shr:
+		op = OpShrI
+	case Eq:
+		op = pick(operandFloat, OpEqF, OpEqI)
+	case NotEq:
+		op = pick(operandFloat, OpNeF, OpNeI)
+	case Lt:
+		op = pick(operandFloat, OpLtF, OpLtI)
+	case LtEq:
+		op = pick(operandFloat, OpLeF, OpLeI)
+	case Gt:
+		op = pick(operandFloat, OpGtF, OpGtI)
+	case GtEq:
+		op = pick(operandFloat, OpGeF, OpGeI)
+	default:
+		return errf(e.Pos, "internal: compiling binary op %s", e.Op)
+	}
+	c.emit(Instr{Op: op})
+	return nil
+}
+
+func pick(cond bool, a, b Opcode) Opcode {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func (c *compiler) assign(e *Assign2) error {
+	// Record copy: dst and src are both record references.
+	if e.Typ == TypeRecord {
+		if err := c.expr(e.L); err != nil { // dst ref
+			return err
+		}
+		if err := c.expr(e.R); err != nil { // src ref
+			return err
+		}
+		c.emit(Instr{Op: OpRecCopy})
+		return nil
+	}
+	switch l := e.L.(type) {
+	case *Ident:
+		_, store := c.varOps(l)
+		if e.Op == Assign {
+			if err := c.expr(e.R); err != nil {
+				return err
+			}
+			c.emit(store)
+			return nil
+		}
+		load, _ := c.varOps(l)
+		c.emit(load)
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: c.compoundOp(e.Op, l.Typ)})
+		c.emit(store)
+		return nil
+	case *Member:
+		// Compile the record reference once; Dup it for compound forms.
+		if err := c.expr(l.Rec); err != nil {
+			return err
+		}
+		if e.Op == Assign {
+			if err := c.expr(e.R); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpRecStoreF, A: int32(l.Field)})
+			return nil
+		}
+		c.emit(Instr{Op: OpDup})
+		c.emit(Instr{Op: OpRecLoadF, A: int32(l.Field)})
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: c.compoundOp(e.Op, fieldType(l.Field))})
+		c.emit(Instr{Op: OpRecStoreF, A: int32(l.Field)})
+		return nil
+	}
+	return errf(e.Pos, "internal: compiling assignment to %T", e.L)
+}
+
+func (c *compiler) compoundOp(op Kind, t Type) Opcode {
+	f := t == TypeFloat
+	switch op {
+	case PlusAssign:
+		return pick(f, OpAddF, OpAddI)
+	case MinusAssign:
+		return pick(f, OpSubF, OpSubI)
+	case StarAssign:
+		return pick(f, OpMulF, OpMulI)
+	case SlashAssign:
+		return pick(f, OpDivF, OpDivI)
+	case PercentAssign:
+		return OpModI
+	}
+	return OpNop
+}

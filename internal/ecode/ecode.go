@@ -1,0 +1,87 @@
+package ecode
+
+// Filter is a compiled E-code filter: the bytecode program for the VM, plus
+// the checked AST retained for the tree-walking interpreter used by the
+// compiled-versus-interpreted ablation.
+type Filter struct {
+	prog  *Program
+	stmts []Stmt
+	spec  *EnvSpec
+}
+
+// Options tunes compilation; the zero value gives the default pipeline.
+type Options struct {
+	// DisableFold skips the constant-folding pass — only for the ablation
+	// that measures what folding buys.
+	DisableFold bool
+}
+
+// Compile parses, type-checks, folds and compiles E-code source against the
+// symbol environment described by spec. It is the user-space analogue of
+// the paper's dynamic code generation step performed at the publishing host.
+func Compile(source string, spec *EnvSpec) (*Filter, error) {
+	return CompileWithOptions(source, spec, Options{})
+}
+
+// CompileWithOptions is Compile with explicit pipeline options.
+func CompileWithOptions(source string, spec *EnvSpec, opts Options) (*Filter, error) {
+	stmts, err := parse(source)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := check(stmts, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisableFold {
+		stmts = foldStmts(stmts)
+	}
+	prog, err := compileProgram(stmts, frame, source)
+	if err != nil {
+		return nil, err
+	}
+	if spec == nil {
+		spec = &EnvSpec{}
+	}
+	return &Filter{prog: prog, stmts: stmts, spec: spec}, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and fixed builtin
+// filters.
+func MustCompile(source string, spec *EnvSpec) *Filter {
+	f, err := Compile(source, spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Run executes the compiled bytecode against env using vm. If vm is nil a
+// fresh one is used.
+func (f *Filter) Run(vm *VM, env *Env) (Result, error) {
+	if vm == nil {
+		vm = NewVM()
+	}
+	return vm.Run(f.prog, env)
+}
+
+// Interpret executes the filter by walking the typed AST instead of running
+// bytecode. Functionally identical to Run; exists so the cost of dynamic
+// compilation can be measured against interpretation.
+func (f *Filter) Interpret(env *Env) (Result, error) {
+	return interpret(f.stmts, env)
+}
+
+// Source returns the original filter source, as redistributed over the
+// control channel.
+func (f *Filter) Source() string { return f.prog.Source }
+
+// Program exposes the compiled bytecode (for disassembly and tests).
+func (f *Filter) Program() *Program { return f.prog }
+
+// Spec returns the environment spec the filter was compiled against.
+func (f *Filter) Spec() *EnvSpec { return f.spec }
+
+// NewEnv allocates a runtime environment matching the filter's spec with
+// output capacity outCap.
+func (f *Filter) NewEnv(outCap int) *Env { return NewEnv(f.spec, outCap) }

@@ -1,0 +1,610 @@
+package ecode
+
+import "fmt"
+
+// Tree-walking interpreter over the checked AST. It implements exactly the
+// same semantics as the VM (including step limits and runtime errors) and
+// exists to quantify the benefit of compiling filters — the dproc design
+// choice of generating executable code at the receiving host rather than
+// interpreting filter source per event.
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type interpState struct {
+	env    *Env
+	locals []value
+	steps  int
+	max    int
+	ret    Result
+}
+
+func interpret(stmts []Stmt, env *Env) (Result, error) {
+	st := &interpState{env: env, max: DefaultMaxSteps}
+	// Frame size: find the max slot by scanning declarations.
+	st.locals = make([]value, maxSlotOf(stmts))
+	for _, s := range stmts {
+		c, err := st.exec(s)
+		if err != nil {
+			return Result{}, err
+		}
+		if c == ctrlReturn {
+			return st.ret, nil
+		}
+	}
+	return Result{Type: TypeVoid}, nil
+}
+
+func maxSlotOf(stmts []Stmt) int {
+	max := 0
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *DeclStmt:
+			if st.Slot+1 > max {
+				max = st.Slot + 1
+			}
+		case *IfStmt:
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *ForStmt:
+			for _, i := range st.Init {
+				walkStmt(i)
+			}
+			walkStmt(st.Body)
+		case *WhileStmt:
+			walkStmt(st.Body)
+		case *BlockStmt:
+			for _, i := range st.List {
+				walkStmt(i)
+			}
+		}
+	}
+	for _, s := range stmts {
+		walkStmt(s)
+	}
+	return max
+}
+
+func (st *interpState) step() error {
+	st.steps++
+	if st.steps > st.max {
+		return ErrSteps
+	}
+	return nil
+}
+
+func (st *interpState) exec(s Stmt) (ctrl, error) {
+	if err := st.step(); err != nil {
+		return ctrlNone, err
+	}
+	switch n := s.(type) {
+	case *DeclStmt:
+		var v value
+		if n.Init != nil {
+			var err error
+			v, err = st.eval(n.Init)
+			if err != nil {
+				return ctrlNone, err
+			}
+		}
+		st.locals[n.Slot] = v
+		return ctrlNone, nil
+	case *ExprStmt:
+		_, err := st.eval(n.X)
+		return ctrlNone, err
+	case *IfStmt:
+		cond, err := st.evalBool(n.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond {
+			return st.exec(n.Then)
+		}
+		if n.Else != nil {
+			return st.exec(n.Else)
+		}
+		return ctrlNone, nil
+	case *ForStmt:
+		for _, init := range n.Init {
+			if _, err := st.exec(init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if n.Cond != nil {
+				ok, err := st.evalBool(n.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !ok {
+					return ctrlNone, nil
+				}
+			}
+			c, err := st.exec(n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if n.Post != nil {
+				if _, err := st.eval(n.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+			if err := st.step(); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *WhileStmt:
+		for {
+			ok, err := st.evalBool(n.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !ok {
+				return ctrlNone, nil
+			}
+			c, err := st.exec(n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if err := st.step(); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *ReturnStmt:
+		if n.X == nil {
+			st.ret = Result{Type: TypeVoid}
+			return ctrlReturn, nil
+		}
+		v, err := st.eval(n.X)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if n.X.exprType() == TypeFloat {
+			st.ret = Result{Type: TypeFloat, F: v.f}
+		} else {
+			st.ret = Result{Type: TypeInt, Int: v.i}
+		}
+		return ctrlReturn, nil
+	case *BreakStmt:
+		return ctrlBreak, nil
+	case *ContinueStmt:
+		return ctrlContinue, nil
+	case *BlockStmt:
+		for _, inner := range n.List {
+			c, err := st.exec(inner)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c != ctrlNone {
+				return c, nil
+			}
+		}
+		return ctrlNone, nil
+	}
+	return ctrlNone, fmt.Errorf("ecode: interpreting unknown statement %T", s)
+}
+
+func (st *interpState) evalBool(x Expr) (bool, error) {
+	v, err := st.eval(x)
+	if err != nil {
+		return false, err
+	}
+	if x.exprType() == TypeFloat {
+		return v.f != 0, nil
+	}
+	return v.i != 0, nil
+}
+
+// evalRef evaluates a record-typed expression to a record pointer.
+func (st *interpState) evalRef(x Expr) (*Record, ArrayRef, int, error) {
+	idx, ok := x.(*Index)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("ecode: %s is not a record reference", x.exprType())
+	}
+	iv, err := st.eval(idx.Inner)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	i := int(iv.i)
+	if idx.Arr == ArrInput {
+		if i < 0 || i >= len(st.env.Input) {
+			return nil, 0, 0, fmt.Errorf("%w: input[%d] with %d inputs", ErrBounds, i, len(st.env.Input))
+		}
+		return &st.env.Input[i], ArrInput, i, nil
+	}
+	if i < 0 || i >= len(st.env.Output) {
+		return nil, 0, 0, fmt.Errorf("%w: output[%d] with capacity %d", ErrBounds, i, len(st.env.Output))
+	}
+	return &st.env.Output[i], ArrOutput, i, nil
+}
+
+func fieldGet(rec *Record, f Field) value {
+	switch f {
+	case FieldValue:
+		return value{f: rec.Value}
+	case FieldLastSent:
+		return value{f: rec.LastSent}
+	case FieldID:
+		return value{i: rec.ID}
+	default:
+		return value{f: rec.Timestamp}
+	}
+}
+
+func fieldSet(rec *Record, f Field, v value) {
+	switch f {
+	case FieldValue:
+		rec.Value = v.f
+	case FieldLastSent:
+		rec.LastSent = v.f
+	case FieldID:
+		rec.ID = v.i
+	case FieldTimestamp:
+		rec.Timestamp = v.f
+	}
+}
+
+func (st *interpState) eval(x Expr) (value, error) {
+	if err := st.step(); err != nil {
+		return value{}, err
+	}
+	switch e := x.(type) {
+	case *IntLit:
+		return value{i: e.Value}, nil
+	case *FloatLit:
+		return value{f: e.Value}, nil
+	case *Ident:
+		switch e.Kind {
+		case VarLocal:
+			return st.locals[e.Slot], nil
+		case VarGlobal:
+			if e.Typ == TypeFloat {
+				if e.Slot >= len(st.env.Floats) {
+					return value{}, fmt.Errorf("%w: double global %d", ErrBounds, e.Slot)
+				}
+				return value{f: st.env.Floats[e.Slot]}, nil
+			}
+			if e.Slot >= len(st.env.Ints) {
+				return value{}, fmt.Errorf("%w: int global %d", ErrBounds, e.Slot)
+			}
+			return value{i: st.env.Ints[e.Slot]}, nil
+		case VarConst:
+			return value{i: e.Val}, nil
+		case varBuiltin:
+			if e.Slot == builtinNInput {
+				return value{i: int64(len(st.env.Input))}, nil
+			}
+			return value{i: int64(len(st.env.Output))}, nil
+		}
+		return value{}, fmt.Errorf("ecode: evaluating ident kind %d", e.Kind)
+	case *Member:
+		rec, _, _, err := st.evalRef(e.Rec)
+		if err != nil {
+			return value{}, err
+		}
+		return fieldGet(rec, e.Field), nil
+	case *Conv:
+		v, err := st.eval(e.X)
+		if err != nil {
+			return value{}, err
+		}
+		if e.Typ == TypeFloat {
+			return value{f: float64(v.i)}, nil
+		}
+		return value{i: int64(v.f)}, nil
+	case *Unary:
+		v, err := st.eval(e.X)
+		if err != nil {
+			return value{}, err
+		}
+		switch e.Op {
+		case Minus:
+			if e.Typ == TypeFloat {
+				return value{f: -v.f}, nil
+			}
+			return value{i: -v.i}, nil
+		case Not:
+			truth := v.i != 0
+			if e.X.exprType() == TypeFloat {
+				truth = v.f != 0
+			}
+			return value{i: b2i(!truth)}, nil
+		case Tilde:
+			return value{i: ^v.i}, nil
+		}
+	case *IncDec:
+		id := e.X.(*Ident)
+		old, err := st.eval(id)
+		if err != nil {
+			return value{}, err
+		}
+		delta := int64(1)
+		if e.Op == Dec {
+			delta = -1
+		}
+		var nv value
+		if id.Typ == TypeFloat {
+			nv = value{f: old.f + float64(delta)}
+		} else {
+			nv = value{i: old.i + delta}
+		}
+		if err := st.storeVar(id, nv); err != nil {
+			return value{}, err
+		}
+		if e.Prefix {
+			return nv, nil
+		}
+		return old, nil
+	case *Binary:
+		return st.binary(e)
+	case *Cond:
+		cond, err := st.evalBool(e.C)
+		if err != nil {
+			return value{}, err
+		}
+		if cond {
+			return st.eval(e.Then)
+		}
+		return st.eval(e.Else)
+	case *Assign2:
+		return st.assign(e)
+	case *Index:
+		return value{}, fmt.Errorf("ecode: record value used as scalar")
+	}
+	return value{}, fmt.Errorf("ecode: interpreting unknown expression %T", x)
+}
+
+func (st *interpState) storeVar(id *Ident, v value) error {
+	switch id.Kind {
+	case VarLocal:
+		st.locals[id.Slot] = v
+		return nil
+	case VarGlobal:
+		if id.Typ == TypeFloat {
+			if id.Slot >= len(st.env.Floats) {
+				return fmt.Errorf("%w: double global %d", ErrBounds, id.Slot)
+			}
+			st.env.Floats[id.Slot] = v.f
+			return nil
+		}
+		if id.Slot >= len(st.env.Ints) {
+			return fmt.Errorf("%w: int global %d", ErrBounds, id.Slot)
+		}
+		st.env.Ints[id.Slot] = v.i
+		return nil
+	}
+	return fmt.Errorf("ecode: storing to ident kind %d", id.Kind)
+}
+
+func (st *interpState) binary(e *Binary) (value, error) {
+	if e.Op == AndAnd {
+		l, err := st.evalBool(e.L)
+		if err != nil || !l {
+			return value{i: 0}, err
+		}
+		r, err := st.evalBool(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		return value{i: b2i(r)}, nil
+	}
+	if e.Op == OrOr {
+		l, err := st.evalBool(e.L)
+		if err != nil {
+			return value{}, err
+		}
+		if l {
+			return value{i: 1}, nil
+		}
+		r, err := st.evalBool(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		return value{i: b2i(r)}, nil
+	}
+	l, err := st.eval(e.L)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := st.eval(e.R)
+	if err != nil {
+		return value{}, err
+	}
+	isF := e.L.exprType() == TypeFloat
+	switch e.Op {
+	case Plus:
+		if isF {
+			return value{f: l.f + r.f}, nil
+		}
+		return value{i: l.i + r.i}, nil
+	case Minus:
+		if isF {
+			return value{f: l.f - r.f}, nil
+		}
+		return value{i: l.i - r.i}, nil
+	case Star:
+		if isF {
+			return value{f: l.f * r.f}, nil
+		}
+		return value{i: l.i * r.i}, nil
+	case Slash:
+		if isF {
+			return value{f: l.f / r.f}, nil
+		}
+		if r.i == 0 {
+			return value{}, ErrDivZero
+		}
+		return value{i: l.i / r.i}, nil
+	case Percent:
+		if r.i == 0 {
+			return value{}, ErrDivZero
+		}
+		return value{i: l.i % r.i}, nil
+	case Amp:
+		return value{i: l.i & r.i}, nil
+	case Pipe:
+		return value{i: l.i | r.i}, nil
+	case Caret:
+		return value{i: l.i ^ r.i}, nil
+	case Shl:
+		return value{i: l.i << (uint64(r.i) & 63)}, nil
+	case Shr:
+		return value{i: l.i >> (uint64(r.i) & 63)}, nil
+	case Eq:
+		if isF {
+			return value{i: b2i(l.f == r.f)}, nil
+		}
+		return value{i: b2i(l.i == r.i)}, nil
+	case NotEq:
+		if isF {
+			return value{i: b2i(l.f != r.f)}, nil
+		}
+		return value{i: b2i(l.i != r.i)}, nil
+	case Lt:
+		if isF {
+			return value{i: b2i(l.f < r.f)}, nil
+		}
+		return value{i: b2i(l.i < r.i)}, nil
+	case LtEq:
+		if isF {
+			return value{i: b2i(l.f <= r.f)}, nil
+		}
+		return value{i: b2i(l.i <= r.i)}, nil
+	case Gt:
+		if isF {
+			return value{i: b2i(l.f > r.f)}, nil
+		}
+		return value{i: b2i(l.i > r.i)}, nil
+	case GtEq:
+		if isF {
+			return value{i: b2i(l.f >= r.f)}, nil
+		}
+		return value{i: b2i(l.i >= r.i)}, nil
+	}
+	return value{}, fmt.Errorf("ecode: interpreting binary op %s", e.Op)
+}
+
+func (st *interpState) assign(e *Assign2) (value, error) {
+	// Record copy. Evaluation order matches the VM: destination reference
+	// first, then source, then the copy.
+	if e.Typ == TypeRecord {
+		dst, arr, idx, err := st.evalRef(e.L)
+		if err != nil {
+			return value{}, err
+		}
+		src, _, _, err := st.evalRef(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		*dst = *src
+		if arr == ArrOutput {
+			st.env.markOut(idx)
+		}
+		return value{i: makeRef(arr, int64(idx))}, nil
+	}
+	switch l := e.L.(type) {
+	case *Ident:
+		// Evaluation order matches the VM: current value first for compound
+		// forms, then the right-hand side.
+		var cur value
+		if e.Op != Assign {
+			var err error
+			cur, err = st.eval(l)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		r, err := st.eval(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		if e.Op != Assign {
+			r, err = applyCompound(e.Op, l.Typ, cur, r)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		if err := st.storeVar(l, r); err != nil {
+			return value{}, err
+		}
+		return r, nil
+	case *Member:
+		rec, arr, idx, err := st.evalRef(l.Rec)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := st.eval(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		if e.Op != Assign {
+			cur := fieldGet(rec, l.Field)
+			r, err = applyCompound(e.Op, fieldType(l.Field), cur, r)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		fieldSet(rec, l.Field, r)
+		if arr == ArrOutput {
+			st.env.markOut(idx)
+		}
+		return r, nil
+	}
+	return value{}, fmt.Errorf("ecode: interpreting assignment to %T", e.L)
+}
+
+func applyCompound(op Kind, t Type, cur, r value) (value, error) {
+	if t == TypeFloat {
+		switch op {
+		case PlusAssign:
+			return value{f: cur.f + r.f}, nil
+		case MinusAssign:
+			return value{f: cur.f - r.f}, nil
+		case StarAssign:
+			return value{f: cur.f * r.f}, nil
+		case SlashAssign:
+			return value{f: cur.f / r.f}, nil
+		}
+		return value{}, fmt.Errorf("ecode: compound op %s on double", op)
+	}
+	switch op {
+	case PlusAssign:
+		return value{i: cur.i + r.i}, nil
+	case MinusAssign:
+		return value{i: cur.i - r.i}, nil
+	case StarAssign:
+		return value{i: cur.i * r.i}, nil
+	case SlashAssign:
+		if r.i == 0 {
+			return value{}, ErrDivZero
+		}
+		return value{i: cur.i / r.i}, nil
+	case PercentAssign:
+		if r.i == 0 {
+			return value{}, ErrDivZero
+		}
+		return value{i: cur.i % r.i}, nil
+	}
+	return value{}, fmt.Errorf("ecode: compound op %s on int", op)
+}

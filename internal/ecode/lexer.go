@@ -1,0 +1,284 @@
+package ecode
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer converts E-code source text into tokens. It supports decimal and
+// hexadecimal integers, floating literals with exponents (the paper's filter
+// example uses 50e6), C and C++ comments, and all operator tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans and returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: text}, nil
+	case isDigit(c), c == '.' && isDigit(l.peek2()):
+		return l.number(pos)
+	}
+	l.advance()
+	two := func(next byte, withKind, aloneKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: pos}, nil
+	case '?':
+		return Token{Kind: Question, Pos: pos}, nil
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '=':
+		return two('=', Eq, Assign)
+	case '!':
+		return two('=', NotEq, Not)
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: Inc, Pos: pos}, nil
+		}
+		return two('=', PlusAssign, Plus)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: Dec, Pos: pos}, nil
+		}
+		return two('=', MinusAssign, Minus)
+	case '*':
+		return two('=', StarAssign, Star)
+	case '/':
+		return two('=', SlashAssign, Slash)
+	case '%':
+		return two('=', PercentAssign, Percent)
+	case '&':
+		return two('&', AndAnd, Amp)
+	case '|':
+		return two('|', OrOr, Pipe)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', LtEq, Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', GtEq, Gt)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// number scans an integer or floating literal.
+func (l *lexer) number(pos Pos) (Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		hexStart := l.off
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off == hexStart {
+			return Token{}, errf(pos, "malformed hexadecimal literal")
+		}
+		v, err := strconv.ParseUint(l.src[hexStart:l.off], 16, 64)
+		if err != nil {
+			return Token{}, errf(pos, "hexadecimal literal out of range")
+		}
+		return Token{Kind: INTLIT, Pos: pos, Text: l.src[start:l.off], Int: int64(v)}, nil
+	}
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	} else if l.peek() == '.' && !isIdentStart(l.peek2()) {
+		// Trailing dot as in "1." — treat as float.
+		isFloat = true
+		l.advance()
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "2e" followed by an ident);
+			// rewind is safe because advance only moved within one line here.
+			l.col -= l.off - save
+			l.off = save
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "malformed float literal %q", text)
+		}
+		return Token{Kind: FLOATLIT, Pos: pos, Text: text, F: v}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, errf(pos, "integer literal %q out of range", text)
+	}
+	return Token{Kind: INTLIT, Pos: pos, Text: text, Int: v}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the entire source, for the parser and for tests.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+// stripBOM removes a UTF-8 byte-order mark so filters pasted from editors
+// still compile.
+func stripBOM(src string) string {
+	return strings.TrimPrefix(src, "\uFEFF")
+}

@@ -1,0 +1,333 @@
+package ecode
+
+// Constant folding over the checked AST. The paper's E-code generator emits
+// native code, where trivial constant work disappears in instruction
+// selection; the bytecode equivalent is this folding pass, run between
+// checking and code generation. It evaluates constant subexpressions
+// (including metric-index constants already substituted by the checker),
+// collapses branches with constant conditions, and removes unreachable
+// loops — so a filter like `if (0) {...}` costs nothing per event.
+
+// foldStmts folds a statement list in place, returning the simplified list
+// (statements may be dropped entirely).
+func foldStmts(stmts []Stmt) []Stmt {
+	out := stmts[:0]
+	for _, s := range stmts {
+		if folded := foldStmt(s); folded != nil {
+			out = append(out, folded)
+		}
+	}
+	return out
+}
+
+// foldStmt simplifies one statement; returning nil removes it.
+func foldStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+		return st
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+		// A side-effect-free expression statement is dead.
+		if !hasSideEffects(st.X) {
+			return nil
+		}
+		return st
+	case *IfStmt:
+		st.Cond = foldExpr(st.Cond)
+		st.Then = foldStmt(st.Then)
+		if st.Else != nil {
+			st.Else = foldStmt(st.Else)
+		}
+		if truth, known := constTruth(st.Cond); known {
+			if truth {
+				if st.Then == nil {
+					return nil
+				}
+				return st.Then
+			}
+			if st.Else == nil {
+				return nil
+			}
+			return st.Else
+		}
+		if st.Then == nil && st.Else == nil && !hasSideEffects(st.Cond) {
+			return nil
+		}
+		if st.Then == nil {
+			// Normalize: keep a valid Then arm.
+			st.Then = &BlockStmt{stmtBase: stmtBase{Pos: st.Pos}}
+		}
+		return st
+	case *ForStmt:
+		st.Init = foldStmts(st.Init)
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+			if truth, known := constTruth(st.Cond); known && !truth {
+				// Loop never runs; only the init remains.
+				if len(st.Init) == 0 {
+					return nil
+				}
+				return &BlockStmt{stmtBase: stmtBase{Pos: st.Pos}, List: st.Init, NoScope: true}
+			}
+		}
+		if st.Post != nil {
+			st.Post = foldExpr(st.Post)
+		}
+		st.Body = foldStmt(st.Body)
+		if st.Body == nil {
+			st.Body = &BlockStmt{stmtBase: stmtBase{Pos: st.Pos}}
+		}
+		return st
+	case *WhileStmt:
+		st.Cond = foldExpr(st.Cond)
+		if truth, known := constTruth(st.Cond); known && !truth {
+			return nil
+		}
+		st.Body = foldStmt(st.Body)
+		if st.Body == nil {
+			st.Body = &BlockStmt{stmtBase: stmtBase{Pos: st.Pos}}
+		}
+		return st
+	case *ReturnStmt:
+		if st.X != nil {
+			st.X = foldExpr(st.X)
+		}
+		return st
+	case *BlockStmt:
+		st.List = foldStmts(st.List)
+		if len(st.List) == 0 {
+			return nil
+		}
+		return st
+	default:
+		return s
+	}
+}
+
+// constTruth reports whether x is a compile-time constant and its truth.
+func constTruth(x Expr) (truth, known bool) {
+	switch e := x.(type) {
+	case *IntLit:
+		return e.Value != 0, true
+	case *FloatLit:
+		return e.Value != 0, true
+	}
+	return false, false
+}
+
+// hasSideEffects conservatively reports whether evaluating x can change
+// state (assignments, ++/--) or fail at run time (division, record access —
+// whose bounds/zero checks must be preserved).
+func hasSideEffects(x Expr) bool {
+	switch e := x.(type) {
+	case *IntLit, *FloatLit, *Ident:
+		return false
+	case *Conv:
+		return hasSideEffects(e.X)
+	case *Unary:
+		return hasSideEffects(e.X)
+	case *Binary:
+		// Division and modulo can trap on a zero divisor.
+		if e.Op == Slash || e.Op == Percent {
+			if _, isConst := e.R.(*IntLit); !isConst || e.R.(*IntLit).Value == 0 {
+				if e.L.exprType() == TypeInt {
+					return true
+				}
+			}
+		}
+		return hasSideEffects(e.L) || hasSideEffects(e.R)
+	case *Cond:
+		return hasSideEffects(e.C) || hasSideEffects(e.Then) || hasSideEffects(e.Else)
+	default:
+		// Assignments, inc/dec, record indexing/member access (bounds
+		// checks), and anything unrecognized.
+		return true
+	}
+}
+
+// foldExpr folds constant subexpressions bottom-up.
+func foldExpr(x Expr) Expr {
+	switch e := x.(type) {
+	case *Ident:
+		// Environment constants (metric indices) become literals.
+		if e.Kind == VarConst {
+			return intConst(e.Pos, e.Val)
+		}
+		return e
+	case *Unary:
+		e.X = foldExpr(e.X)
+		if i, ok := e.X.(*IntLit); ok {
+			switch e.Op {
+			case Minus:
+				return &IntLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeInt}, Value: -i.Value}
+			case Not:
+				return &IntLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeInt}, Value: b2i(i.Value == 0)}
+			case Tilde:
+				return &IntLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeInt}, Value: ^i.Value}
+			}
+		}
+		if f, ok := e.X.(*FloatLit); ok {
+			switch e.Op {
+			case Minus:
+				return &FloatLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeFloat}, Value: -f.Value}
+			case Not:
+				return &IntLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeInt}, Value: b2i(f.Value == 0)}
+			}
+		}
+		return e
+	case *Conv:
+		e.X = foldExpr(e.X)
+		if i, ok := e.X.(*IntLit); ok && e.Typ == TypeFloat {
+			return &FloatLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeFloat}, Value: float64(i.Value)}
+		}
+		if f, ok := e.X.(*FloatLit); ok && e.Typ == TypeInt {
+			return &IntLit{exprBase: exprBase{Pos: e.Pos, Typ: TypeInt}, Value: int64(f.Value)}
+		}
+		return e
+	case *Binary:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		return foldBinary(e)
+	case *Cond:
+		e.C = foldExpr(e.C)
+		e.Then = foldExpr(e.Then)
+		e.Else = foldExpr(e.Else)
+		if truth, known := constTruth(e.C); known {
+			if truth {
+				return e.Then
+			}
+			return e.Else
+		}
+		return e
+	case *Assign2:
+		e.R = foldExpr(e.R)
+		// Fold inside index expressions of the LHS too.
+		if idx, ok := e.L.(*Index); ok {
+			idx.Inner = foldExpr(idx.Inner)
+		}
+		if m, ok := e.L.(*Member); ok {
+			if idx, ok := m.Rec.(*Index); ok {
+				idx.Inner = foldExpr(idx.Inner)
+			}
+		}
+		return e
+	case *Index:
+		e.Inner = foldExpr(e.Inner)
+		return e
+	case *Member:
+		e.Rec = foldExpr(e.Rec)
+		return e
+	case *IncDec:
+		return e
+	default:
+		return x
+	}
+}
+
+func foldBinary(e *Binary) Expr {
+	li, lIsInt := e.L.(*IntLit)
+	ri, rIsInt := e.R.(*IntLit)
+	lf, lIsF := e.L.(*FloatLit)
+	rf, rIsF := e.R.(*FloatLit)
+
+	// Short-circuit operators fold when the left side decides the result or
+	// both sides are constant.
+	if e.Op == AndAnd || e.Op == OrOr {
+		lTruth, lKnown := constTruth(e.L)
+		rTruth, rKnown := constTruth(e.R)
+		switch {
+		case lKnown && e.Op == AndAnd && !lTruth:
+			return intConst(e.Pos, 0)
+		case lKnown && e.Op == OrOr && lTruth:
+			return intConst(e.Pos, 1)
+		case lKnown && rKnown:
+			if e.Op == AndAnd {
+				return intConst(e.Pos, b2i(lTruth && rTruth))
+			}
+			return intConst(e.Pos, b2i(lTruth || rTruth))
+		case lKnown && !hasSideEffects(e.R):
+			// (true && r) == bool(r); keep as comparison with 0.
+			return e // conservative: leave as-is
+		}
+		return e
+	}
+
+	if lIsInt && rIsInt {
+		switch e.Op {
+		case Plus:
+			return intConst(e.Pos, li.Value+ri.Value)
+		case Minus:
+			return intConst(e.Pos, li.Value-ri.Value)
+		case Star:
+			return intConst(e.Pos, li.Value*ri.Value)
+		case Slash:
+			if ri.Value == 0 {
+				return e // preserve the runtime error
+			}
+			return intConst(e.Pos, li.Value/ri.Value)
+		case Percent:
+			if ri.Value == 0 {
+				return e
+			}
+			return intConst(e.Pos, li.Value%ri.Value)
+		case Amp:
+			return intConst(e.Pos, li.Value&ri.Value)
+		case Pipe:
+			return intConst(e.Pos, li.Value|ri.Value)
+		case Caret:
+			return intConst(e.Pos, li.Value^ri.Value)
+		case Shl:
+			return intConst(e.Pos, li.Value<<(uint64(ri.Value)&63))
+		case Shr:
+			return intConst(e.Pos, li.Value>>(uint64(ri.Value)&63))
+		case Eq:
+			return intConst(e.Pos, b2i(li.Value == ri.Value))
+		case NotEq:
+			return intConst(e.Pos, b2i(li.Value != ri.Value))
+		case Lt:
+			return intConst(e.Pos, b2i(li.Value < ri.Value))
+		case LtEq:
+			return intConst(e.Pos, b2i(li.Value <= ri.Value))
+		case Gt:
+			return intConst(e.Pos, b2i(li.Value > ri.Value))
+		case GtEq:
+			return intConst(e.Pos, b2i(li.Value >= ri.Value))
+		}
+	}
+	if lIsF && rIsF {
+		switch e.Op {
+		case Plus:
+			return floatConst(e.Pos, lf.Value+rf.Value)
+		case Minus:
+			return floatConst(e.Pos, lf.Value-rf.Value)
+		case Star:
+			return floatConst(e.Pos, lf.Value*rf.Value)
+		case Slash:
+			return floatConst(e.Pos, lf.Value/rf.Value)
+		case Eq:
+			return intConst(e.Pos, b2i(lf.Value == rf.Value))
+		case NotEq:
+			return intConst(e.Pos, b2i(lf.Value != rf.Value))
+		case Lt:
+			return intConst(e.Pos, b2i(lf.Value < rf.Value))
+		case LtEq:
+			return intConst(e.Pos, b2i(lf.Value <= rf.Value))
+		case Gt:
+			return intConst(e.Pos, b2i(lf.Value > rf.Value))
+		case GtEq:
+			return intConst(e.Pos, b2i(lf.Value >= rf.Value))
+		}
+	}
+	return e
+}
+
+func intConst(pos Pos, v int64) *IntLit {
+	return &IntLit{exprBase: exprBase{Pos: pos, Typ: TypeInt}, Value: v}
+}
+
+func floatConst(pos Pos, v float64) *FloatLit {
+	return &FloatLit{exprBase: exprBase{Pos: pos, Typ: TypeFloat}, Value: v}
+}

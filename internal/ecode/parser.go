@@ -1,0 +1,497 @@
+package ecode
+
+// parser builds an untyped AST from a token stream using recursive descent
+// with precedence climbing for binary operators. Symbol resolution and type
+// annotation happen in the checker, not here.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func parse(src string) ([]Stmt, error) {
+	toks, err := lexAll(stripBOM(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	// A filter body may be wrapped in a single top-level brace pair, as in
+	// the paper's Figure 3, or written bare.
+	if p.cur().Kind == LBrace && p.matchingTopBrace() {
+		p.advance()
+		for p.cur().Kind != RBrace {
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		p.advance()
+		if p.cur().Kind != EOF {
+			return nil, errf(p.cur().Pos, "unexpected %s after closing brace", p.cur().Kind)
+		}
+		return stmts, nil
+	}
+	for p.cur().Kind != EOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// matchingTopBrace reports whether the opening brace at the current position
+// closes exactly at the last token before EOF (i.e. the whole program is one
+// block, not a leading compound statement followed by more code).
+func (p *parser) matchingTopBrace() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case LBrace:
+			depth++
+		case RBrace:
+			depth--
+			if depth == 0 {
+				return i == len(p.toks)-2 // last token before EOF
+			}
+		}
+	}
+	return false
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur().Kind)
+	}
+	return p.advance(), nil
+}
+
+func isTypeKeyword(k Kind) bool {
+	return k == KwInt || k == KwLong || k == KwFloat || k == KwDouble
+}
+
+func typeOfKeyword(k Kind) Type {
+	if k == KwInt || k == KwLong {
+		return TypeInt
+	}
+	return TypeFloat
+}
+
+// statement parses one statement.
+func (p *parser) statement() (Stmt, error) {
+	tok := p.cur()
+	switch {
+	case isTypeKeyword(tok.Kind):
+		decls, err := p.declList()
+		if err != nil {
+			return nil, err
+		}
+		if len(decls) == 1 {
+			return decls[0], nil
+		}
+		return &BlockStmt{stmtBase: stmtBase{Pos: tok.Pos}, List: decls, NoScope: true}, nil
+	case tok.Kind == KwIf:
+		return p.ifStmt()
+	case tok.Kind == KwFor:
+		return p.forStmt()
+	case tok.Kind == KwWhile:
+		return p.whileStmt()
+	case tok.Kind == KwReturn:
+		p.advance()
+		var x Expr
+		if p.cur().Kind != Semi {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{stmtBase: stmtBase{Pos: tok.Pos}, X: x}, nil
+	case tok.Kind == KwBreak:
+		p.advance()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{stmtBase{Pos: tok.Pos}}, nil
+	case tok.Kind == KwContinue:
+		p.advance()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{stmtBase{Pos: tok.Pos}}, nil
+	case tok.Kind == LBrace:
+		return p.block()
+	case tok.Kind == Semi:
+		p.advance()
+		return &BlockStmt{stmtBase: stmtBase{Pos: tok.Pos}}, nil
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase: stmtBase{Pos: tok.Pos}, X: x}, nil
+	}
+}
+
+// declList parses "type name [= expr] (, name [= expr])* ;".
+func (p *parser) declList() ([]Stmt, error) {
+	tk := p.advance() // type keyword
+	typ := typeOfKeyword(tk.Kind)
+	var out []Stmt
+	for {
+		nameTok, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.cur().Kind == Assign {
+			p.advance()
+			init, err = p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, &DeclStmt{
+			stmtBase: stmtBase{Pos: nameTok.Pos},
+			Name:     nameTok.Text,
+			Typ:      typ,
+			Init:     init,
+		})
+		if p.cur().Kind == Comma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) block() (Stmt, error) {
+	open, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{stmtBase: stmtBase{Pos: open.Pos}}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.advance()
+	return blk, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	tok := p.advance()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.cur().Kind == KwElse {
+		p.advance()
+		els, err = p.statement()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{stmtBase: stmtBase{Pos: tok.Pos}, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	tok := p.advance()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{stmtBase: stmtBase{Pos: tok.Pos}}
+	switch {
+	case isTypeKeyword(p.cur().Kind):
+		decls, err := p.declList()
+		if err != nil {
+			return nil, err
+		}
+		f.Init = decls
+	case p.cur().Kind == Semi:
+		p.advance()
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		f.Init = []Stmt{&ExprStmt{stmtBase: stmtBase{Pos: tok.Pos}, X: x}}
+	}
+	if p.cur().Kind != Semi {
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = c
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	tok := p.advance()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{stmtBase: stmtBase{Pos: tok.Pos}, Cond: cond, Body: body}, nil
+}
+
+// expr is the full-expression entry point (no comma operator in E-code).
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func isAssignOp(k Kind) bool {
+	switch k {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign:
+		return true
+	}
+	return false
+}
+
+// assignExpr parses right-associative assignment.
+func (p *parser) assignExpr() (Expr, error) {
+	l, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if isAssignOp(p.cur().Kind) {
+		op := p.advance()
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign2{exprBase: exprBase{Pos: op.Pos}, Op: op.Kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) ternary() (Expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Question {
+		return c, nil
+	}
+	q := p.advance()
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{exprBase: exprBase{Pos: q.Pos}, C: c, Then: then, Else: els}, nil
+}
+
+// binPrec gives C's binary operator precedences (higher binds tighter);
+// -1 means not a binary operator.
+func binPrec(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case Eq, NotEq:
+		return 6
+	case Lt, LtEq, Gt, GtEq:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return -1
+}
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < 0 || prec < minPrec {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: op.Pos}, Op: op.Kind, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case Minus, Not, Tilde:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: tok.Pos}, Op: tok.Kind, X: x}, nil
+	case Plus:
+		p.advance()
+		return p.unary()
+	case Inc, Dec:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{exprBase: exprBase{Pos: tok.Pos}, Op: tok.Kind, X: x, Prefix: true}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LBracket:
+			open := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, errf(open.Pos, "only the input/output arrays can be indexed")
+			}
+			// The checker verifies the name really denotes an array.
+			x = &Index{exprBase: exprBase{Pos: open.Pos}, Name: id.Name, Inner: idx}
+		case Dot:
+			p.advance()
+			nameTok, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := fieldNames[nameTok.Text]
+			if !ok {
+				return nil, errf(nameTok.Pos, "unknown record field %q (have value, last_value_sent, id, timestamp)", nameTok.Text)
+			}
+			x = &Member{exprBase: exprBase{Pos: nameTok.Pos}, Rec: x, Field: f}
+		case Inc, Dec:
+			op := p.advance()
+			x = &IncDec{exprBase: exprBase{Pos: op.Pos}, Op: op.Kind, X: x, Prefix: false}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case INTLIT:
+		p.advance()
+		return &IntLit{exprBase: exprBase{Pos: tok.Pos, Typ: TypeInt}, Value: tok.Int}, nil
+	case FLOATLIT:
+		p.advance()
+		return &FloatLit{exprBase: exprBase{Pos: tok.Pos, Typ: TypeFloat}, Value: tok.F}, nil
+	case IDENT:
+		p.advance()
+		return &Ident{exprBase: exprBase{Pos: tok.Pos}, Name: tok.Text}, nil
+	case LParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(tok.Pos, "expected expression, found %s", tok.Kind)
+}

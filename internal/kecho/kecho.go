@@ -1,0 +1,468 @@
+// Package kecho is the user-space reproduction of KECho, the kernel-level
+// event channel infrastructure dproc is built on. It provides peer-to-peer
+// publish/subscribe channels: every member runs a listener, members discover
+// each other through the channel registry, and events are submitted directly
+// from publisher to every subscriber with no central collection point — the
+// property the paper contrasts with Supermon's central data concentrator.
+//
+// Delivery is poll-driven by default: received events queue in a bounded
+// inbox and are dispatched to handlers when the owner calls Poll, matching
+// d-mon's one-second polling of its listening sockets. Immediate dispatch
+// (handler runs on the receiving goroutine) is available for the
+// poll-versus-immediate ablation.
+package kecho
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dproc/internal/registry"
+	"dproc/internal/wire"
+)
+
+// Frame types on peer connections.
+const (
+	frameHello uint8 = iota + 1
+	frameEvent
+)
+
+// DispatchMode selects how received events reach handlers.
+type DispatchMode int
+
+const (
+	// Polled queues events until Poll is called (the paper's d-mon model).
+	Polled DispatchMode = iota
+	// Immediate invokes handlers on the receiving goroutine.
+	Immediate
+)
+
+// Event is one message delivered on a channel.
+type Event struct {
+	// Channel is the channel name the event arrived on.
+	Channel string
+	// From is the member ID of the publisher.
+	From string
+	// Seq is the publisher's per-channel sequence number.
+	Seq uint64
+	// Payload is the opaque event body.
+	Payload []byte
+	// Recv is the local receive time.
+	Recv time.Time
+}
+
+// Handler consumes events; see Channel.Subscribe.
+type Handler func(Event)
+
+// Stats counts channel traffic; all fields are cumulative.
+type Stats struct {
+	EventsSent uint64
+	EventsRecv uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+	// Dropped counts events discarded because the inbox was full.
+	Dropped uint64
+}
+
+// Options tunes channel behaviour; the zero value gives a polled channel
+// with the default inbox size.
+type Options struct {
+	// Dispatch selects polled (default) or immediate handler dispatch.
+	Dispatch DispatchMode
+	// InboxSize bounds the polled-event queue; 0 means 4096.
+	InboxSize int
+}
+
+const defaultInboxSize = 4096
+
+// Channel is one member's handle on a named event channel.
+type Channel struct {
+	name string
+	id   string
+	reg  *registry.Client
+	ln   net.Listener
+	opts Options
+
+	mu       sync.Mutex
+	peers    map[string]*peer
+	handlers []Handler
+	closed   bool
+
+	inbox chan Event
+	seq   atomic.Uint64
+
+	eventsSent atomic.Uint64
+	eventsRecv atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
+	dropped    atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+type peer struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (p *peer) send(typ uint8, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return wire.WriteFrame(p.conn, typ, payload)
+}
+
+// Join creates this member's endpoint for the named channel, registers with
+// the registry, and connects to every existing member. memberID must be
+// unique within the channel (dproc uses the node name).
+func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*Channel, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	inboxSize := opts.InboxSize
+	if inboxSize == 0 {
+		inboxSize = defaultInboxSize
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("kecho: listen: %w", err)
+	}
+	c := &Channel{
+		name:  channelName,
+		id:    memberID,
+		reg:   reg,
+		ln:    ln,
+		opts:  *opts,
+		peers: make(map[string]*peer),
+		inbox: make(chan Event, inboxSize),
+	}
+	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	for _, m := range peers {
+		if err := c.dialPeer(m); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("kecho: connecting to peer %s: %w", m.ID, err)
+		}
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Name returns the channel name.
+func (c *Channel) Name() string { return c.name }
+
+// MemberID returns this member's ID.
+func (c *Channel) MemberID() string { return c.id }
+
+// Addr returns the listener address other members dial.
+func (c *Channel) Addr() string { return c.ln.Addr().String() }
+
+// Peers returns the IDs of currently connected peers, sorted.
+func (c *Channel) Peers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe registers a handler for incoming events. Handlers run on the
+// Poll caller's goroutine (Polled mode) or the receiver goroutine
+// (Immediate mode).
+func (c *Channel) Subscribe(h Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers = append(c.handlers, h)
+}
+
+// Stats returns a snapshot of traffic counters.
+func (c *Channel) Stats() Stats {
+	return Stats{
+		EventsSent: c.eventsSent.Load(),
+		EventsRecv: c.eventsRecv.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+		Dropped:    c.dropped.Load(),
+	}
+}
+
+func (c *Channel) dialPeer(m registry.Member) error {
+	conn, err := net.Dial("tcp", m.Addr)
+	if err != nil {
+		return err
+	}
+	p := &peer{id: m.ID, conn: conn}
+	hello := wire.NewEncoder(64)
+	hello.String(c.name)
+	hello.String(c.id)
+	if err := p.send(frameHello, hello.Bytes()); err != nil {
+		conn.Close()
+		return err
+	}
+	c.addPeer(p)
+	return nil
+}
+
+// addPeer registers p and starts its read loop, replacing (and closing) any
+// previous connection with the same peer ID.
+func (c *Channel) addPeer(p *peer) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		p.conn.Close()
+		return
+	}
+	if old, ok := c.peers[p.id]; ok {
+		old.conn.Close()
+	}
+	c.peers[p.id] = p
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.readLoop(p)
+}
+
+func (c *Channel) removePeer(p *peer) {
+	c.mu.Lock()
+	if cur, ok := c.peers[p.id]; ok && cur == p {
+		delete(c.peers, p.id)
+	}
+	c.mu.Unlock()
+	p.conn.Close()
+}
+
+func (c *Channel) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		// The hello frame identifies the dialing member.
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil || typ != frameHello {
+			conn.Close()
+			continue
+		}
+		d := wire.NewDecoder(payload)
+		chName := d.String()
+		peerID := d.String()
+		if d.Finish() != nil || chName != c.name || peerID == "" {
+			conn.Close()
+			continue
+		}
+		c.addPeer(&peer{id: peerID, conn: conn})
+	}
+}
+
+func (c *Channel) readLoop(p *peer) {
+	defer c.wg.Done()
+	defer c.removePeer(p)
+	for {
+		typ, payload, err := wire.ReadFrame(p.conn)
+		if err != nil {
+			return
+		}
+		if typ != frameEvent {
+			continue
+		}
+		d := wire.NewDecoder(payload)
+		ev := Event{
+			Channel: c.name,
+			From:    d.String(),
+			Seq:     d.Uint64(),
+			Payload: d.BytesField(),
+			Recv:    time.Now(),
+		}
+		if d.Finish() != nil {
+			continue
+		}
+		c.eventsRecv.Add(1)
+		c.bytesRecv.Add(uint64(len(payload)))
+		if c.opts.Dispatch == Immediate {
+			c.dispatch(ev)
+			continue
+		}
+		select {
+		case c.inbox <- ev:
+		default:
+			c.dropped.Add(1)
+		}
+	}
+}
+
+func (c *Channel) dispatch(ev Event) {
+	c.mu.Lock()
+	handlers := make([]Handler, len(c.handlers))
+	copy(handlers, c.handlers)
+	c.mu.Unlock()
+	for _, h := range handlers {
+		h(ev)
+	}
+}
+
+// Poll drains events queued since the last call and dispatches them to the
+// subscribed handlers, returning the number processed. It mirrors d-mon's
+// per-second socket poll; meaningful only in Polled mode.
+func (c *Channel) Poll() int {
+	n := 0
+	for {
+		select {
+		case ev := <-c.inbox:
+			c.dispatch(ev)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// Pending reports how many events are queued awaiting Poll.
+func (c *Channel) Pending() int { return len(c.inbox) }
+
+func (c *Channel) encodeEvent(payload []byte) []byte {
+	e := wire.NewEncoder(16 + len(c.id) + len(payload))
+	e.String(c.id)
+	e.Uint64(c.seq.Add(1))
+	e.BytesField(payload)
+	return e.Bytes()
+}
+
+// Submit publishes payload to every connected peer and returns how many
+// peers it was delivered to. Peers whose connection fails are dropped, as a
+// failed kernel socket would be.
+func (c *Channel) Submit(payload []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errors.New("kecho: channel closed")
+	}
+	peers := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+	frame := c.encodeEvent(payload)
+	sent := 0
+	for _, p := range peers {
+		if err := p.send(frameEvent, frame); err != nil {
+			c.removePeer(p)
+			continue
+		}
+		sent++
+	}
+	c.eventsSent.Add(uint64(sent))
+	c.bytesSent.Add(uint64(sent * len(frame)))
+	return sent, nil
+}
+
+// SubmitTo publishes payload to a single peer, used for targeted control
+// messages (e.g. deploying a filter on one node).
+func (c *Channel) SubmitTo(peerID string, payload []byte) error {
+	c.mu.Lock()
+	p, ok := c.peers[peerID]
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return errors.New("kecho: channel closed")
+	}
+	if !ok {
+		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
+	}
+	frame := c.encodeEvent(payload)
+	if err := p.send(frameEvent, frame); err != nil {
+		c.removePeer(p)
+		return err
+	}
+	c.eventsSent.Add(1)
+	c.bytesSent.Add(uint64(len(frame)))
+	return nil
+}
+
+// RefreshPeers re-queries the registry and dials any registered member this
+// channel is not currently connected to, healing the mesh after peer
+// failures or restarts. It returns how many new peers were dialed.
+func (c *Channel) RefreshPeers() (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errors.New("kecho: channel closed")
+	}
+	c.mu.Unlock()
+	members, err := c.reg.Lookup(c.name)
+	if err != nil {
+		return 0, err
+	}
+	dialed := 0
+	var lastErr error
+	for _, m := range members {
+		if m.ID == c.id {
+			continue
+		}
+		c.mu.Lock()
+		_, have := c.peers[m.ID]
+		c.mu.Unlock()
+		if have {
+			continue
+		}
+		if err := c.dialPeer(m); err != nil {
+			lastErr = err
+			continue
+		}
+		dialed++
+	}
+	return dialed, lastErr
+}
+
+// Close leaves the channel: deregisters from the registry, closes the
+// listener and all peer connections, and waits for goroutines to finish.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peers := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+
+	_ = c.reg.Leave(c.name, c.id)
+	err := c.ln.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// WaitForPeers blocks until the channel has at least n connected peers or
+// the timeout elapses, reporting success. Tests and benchmarks use it to
+// avoid racing the mesh construction.
+func (c *Channel) WaitForPeers(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		have := len(c.peers)
+		c.mu.Unlock()
+		if have >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,319 @@
+// Package metrics defines the monitored quantities exchanged by dproc nodes:
+// metric identifiers (stable indices so E-code filters can reference
+// input[LOADAVG] exactly as in the paper's Figure 3), individual samples,
+// and the per-poll report that d-mon submits to the monitoring channel.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dproc/internal/wire"
+)
+
+// ID identifies one monitored quantity. The numeric values are part of the
+// filter ABI: E-code filters index the input[] record array by these
+// constants, so they are stable across nodes.
+type ID int
+
+// Metric identifiers, grouped by the monitoring module that produces them.
+const (
+	// CPU_MON: average run-queue length over the configured window.
+	LOADAVG ID = iota
+	// CPU_MON: number of runnable tasks at the last sample.
+	RUNQUEUE
+	// MEM_MON: free memory in bytes (paper: nr_free_pages).
+	FREEMEM
+	// MEM_MON: total memory in bytes.
+	TOTALMEM
+	// DISK_MON: average reads completed per second over the period.
+	DISKREADS
+	// DISK_MON: average writes completed per second over the period.
+	DISKWRITES
+	// DISK_MON: average sectors read per second over the period.
+	SECTORSREAD
+	// DISK_MON: average sectors written per second over the period.
+	SECTORSWRITTEN
+	// DISK_MON: combined sectors moved per second (the paper's "disk usage").
+	DISKUSAGE
+	// NET_MON: used bandwidth across all connections, bits per second.
+	NETBW
+	// NET_MON: available bandwidth estimate on the node's link, bits/s.
+	NETAVAIL
+	// NET_MON: mean round-trip time across established connections, seconds.
+	NETRTT
+	// NET_MON: TCP retransmissions per second.
+	NETRETRANS
+	// NET_MON: UDP messages lost per second.
+	NETLOST
+	// NET_MON: mean end-to-end delay, seconds.
+	NETDELAY
+	// PMC: cache misses per second (performance monitoring counter).
+	CACHE_MISS
+	// PMC: retired instructions per second.
+	INSTRUCTIONS
+	// PMC: unhalted cycles per second.
+	CYCLES
+	// POWER_MON: remaining battery capacity, percent. The paper's example
+	// of monitoring functionality deployed dynamically for mobile devices
+	// ("the current battery power in mobile devices"); its conclusions make
+	// power a first-class resource for the wireless/embedded future work.
+	BATTERY
+	// POWER_MON: present power draw, watts.
+	POWERDRAW
+
+	// NumIDs is the size of the metric ID space (and of filter input arrays).
+	NumIDs
+)
+
+// Resource is the coarse resource class a metric belongs to; parameters and
+// control files address metrics by resource (e.g. "update the CPU info every
+// 2 seconds").
+type Resource int
+
+// Resource classes, one per monitoring module in the paper's Figure 2.
+const (
+	CPU Resource = iota
+	Memory
+	Disk
+	Network
+	PMC
+	Power
+	NumResources
+)
+
+var resourceNames = [NumResources]string{"cpu", "mem", "disk", "net", "pmc", "power"}
+
+// String returns the lower-case resource name used in control files.
+func (r Resource) String() string {
+	if r < 0 || r >= NumResources {
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+	return resourceNames[r]
+}
+
+// ParseResource maps a control-file resource name to its Resource.
+func ParseResource(name string) (Resource, bool) {
+	for r, n := range resourceNames {
+		if n == name {
+			return Resource(r), true
+		}
+	}
+	return 0, false
+}
+
+type idInfo struct {
+	name     string // pseudo-file / filter symbol name
+	resource Resource
+	unit     string
+}
+
+var idTable = [NumIDs]idInfo{
+	LOADAVG:        {"loadavg", CPU, "tasks"},
+	RUNQUEUE:       {"runqueue", CPU, "tasks"},
+	FREEMEM:        {"freemem", Memory, "bytes"},
+	TOTALMEM:       {"totalmem", Memory, "bytes"},
+	DISKREADS:      {"diskreads", Disk, "ops/s"},
+	DISKWRITES:     {"diskwrites", Disk, "ops/s"},
+	SECTORSREAD:    {"sectorsread", Disk, "sectors/s"},
+	SECTORSWRITTEN: {"sectorswritten", Disk, "sectors/s"},
+	DISKUSAGE:      {"diskusage", Disk, "sectors/s"},
+	NETBW:          {"netbw", Network, "bits/s"},
+	NETAVAIL:       {"netavail", Network, "bits/s"},
+	NETRTT:         {"netrtt", Network, "s"},
+	NETRETRANS:     {"netretrans", Network, "ops/s"},
+	NETLOST:        {"netlost", Network, "ops/s"},
+	NETDELAY:       {"netdelay", Network, "s"},
+	CACHE_MISS:     {"cache_miss", PMC, "misses/s"},
+	INSTRUCTIONS:   {"instructions", PMC, "ops/s"},
+	CYCLES:         {"cycles", PMC, "cycles/s"},
+	BATTERY:        {"battery", Power, "%"},
+	POWERDRAW:      {"powerdraw", Power, "W"},
+}
+
+// Valid reports whether id is a defined metric identifier.
+func (id ID) Valid() bool { return id >= 0 && id < NumIDs }
+
+// String returns the metric's pseudo-file name (e.g. "loadavg").
+func (id ID) String() string {
+	if !id.Valid() {
+		return fmt.Sprintf("metric(%d)", int(id))
+	}
+	return idTable[id].name
+}
+
+// Resource returns the resource class the metric belongs to.
+func (id ID) Resource() Resource {
+	if !id.Valid() {
+		return NumResources
+	}
+	return idTable[id].resource
+}
+
+// Unit returns the human-readable unit for the metric.
+func (id ID) Unit() string {
+	if !id.Valid() {
+		return ""
+	}
+	return idTable[id].unit
+}
+
+// FilterSymbol returns the upper-case constant name exposed to E-code
+// filters, e.g. LOADAVG or CACHE_MISS.
+var filterSymbols = func() map[ID]string {
+	m := make(map[ID]string, NumIDs)
+	m[LOADAVG] = "LOADAVG"
+	m[RUNQUEUE] = "RUNQUEUE"
+	m[FREEMEM] = "FREEMEM"
+	m[TOTALMEM] = "TOTALMEM"
+	m[DISKREADS] = "DISKREADS"
+	m[DISKWRITES] = "DISKWRITES"
+	m[SECTORSREAD] = "SECTORSREAD"
+	m[SECTORSWRITTEN] = "SECTORSWRITTEN"
+	m[DISKUSAGE] = "DISKUSAGE"
+	m[NETBW] = "NETBW"
+	m[NETAVAIL] = "NETAVAIL"
+	m[NETRTT] = "NETRTT"
+	m[NETRETRANS] = "NETRETRANS"
+	m[NETLOST] = "NETLOST"
+	m[NETDELAY] = "NETDELAY"
+	m[CACHE_MISS] = "CACHE_MISS"
+	m[INSTRUCTIONS] = "INSTRUCTIONS"
+	m[CYCLES] = "CYCLES"
+	m[BATTERY] = "BATTERY"
+	m[POWERDRAW] = "POWERDRAW"
+	return m
+}()
+
+// FilterSymbol returns the constant name visible inside E-code filters.
+func (id ID) FilterSymbol() string { return filterSymbols[id] }
+
+// FilterSymbols returns the full symbol→index map handed to the E-code
+// compiler, sorted deterministically for reproducible compilation.
+func FilterSymbols() map[string]int {
+	m := make(map[string]int, NumIDs)
+	for id, name := range filterSymbols {
+		m[name] = int(id)
+	}
+	return m
+}
+
+// ParseID maps a pseudo-file name (e.g. "loadavg") to its ID.
+func ParseID(name string) (ID, bool) {
+	for i := ID(0); i < NumIDs; i++ {
+		if idTable[i].name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// IDsForResource returns all metric IDs belonging to resource r, in ID order.
+func IDsForResource(r Resource) []ID {
+	var out []ID
+	for i := ID(0); i < NumIDs; i++ {
+		if idTable[i].resource == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllIDs returns every defined metric ID in order.
+func AllIDs() []ID {
+	out := make([]ID, NumIDs)
+	for i := range out {
+		out[i] = ID(i)
+	}
+	return out
+}
+
+// Sample is one monitored value at one instant, together with the last value
+// that was actually sent to the channel — the `last_value_sent` field that
+// E-code filters and the differential threshold compare against.
+type Sample struct {
+	ID       ID
+	Value    float64
+	LastSent float64
+	Time     time.Time
+}
+
+// Report is the batch of samples one d-mon submits in one poll iteration.
+// Padding emulates the paper's variable event sizes (Figure 7 uses ~5 KB
+// events) without inventing extra metrics.
+type Report struct {
+	Node    string
+	Seq     uint64
+	Time    time.Time
+	Samples []Sample
+	Padding []byte
+}
+
+// Size returns the encoded size of the report in bytes.
+func (r *Report) Size() int { return len(r.Encode()) }
+
+// Encode serializes the report with the wire codec.
+func (r *Report) Encode() []byte {
+	e := wire.NewEncoder(64 + 32*len(r.Samples) + len(r.Padding))
+	e.String(r.Node)
+	e.Uint64(r.Seq)
+	e.Time(r.Time)
+	e.Uint32(uint32(len(r.Samples)))
+	for _, s := range r.Samples {
+		e.Uint16(uint16(s.ID))
+		e.Float64(s.Value)
+		e.Float64(s.LastSent)
+		e.Time(s.Time)
+	}
+	e.BytesField(r.Padding)
+	return e.Bytes()
+}
+
+// DecodeReport parses a report previously produced by Encode.
+func DecodeReport(buf []byte) (*Report, error) {
+	d := wire.NewDecoder(buf)
+	r := &Report{
+		Node: d.String(),
+		Seq:  d.Uint64(),
+		Time: d.Time(),
+	}
+	n := d.Uint32()
+	if int(n) > d.Remaining()/10 { // each sample is at least 26 bytes; 10 is a safe floor
+		return nil, fmt.Errorf("metrics: implausible sample count %d for %d remaining bytes", n, d.Remaining())
+	}
+	r.Samples = make([]Sample, n)
+	for i := range r.Samples {
+		r.Samples[i] = Sample{
+			ID:       ID(d.Uint16()),
+			Value:    d.Float64(),
+			LastSent: d.Float64(),
+			Time:     d.Time(),
+		}
+	}
+	r.Padding = d.BytesField()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("metrics: decoding report: %w", err)
+	}
+	for _, s := range r.Samples {
+		if !s.ID.Valid() {
+			return nil, fmt.Errorf("metrics: invalid metric id %d in report", int(s.ID))
+		}
+	}
+	return r, nil
+}
+
+// ByID returns the sample for id, if present.
+func (r *Report) ByID(id ID) (Sample, bool) {
+	for _, s := range r.Samples {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// SortSamples orders samples by ID for deterministic output.
+func (r *Report) SortSamples() {
+	sort.Slice(r.Samples, func(i, j int) bool { return r.Samples[i].ID < r.Samples[j].ID })
+}

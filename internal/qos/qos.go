@@ -1,0 +1,279 @@
+// Package qos builds the management layer the paper positions dproc under:
+// "dproc is part of the Q-Fabric project ... The monitoring results
+// delivered by dproc can be used by QoS management mechanisms to optimally
+// allocate resources to applications." The package implements the paper's
+// own recurring example — a batch-queue scheduler that consults the
+// distributed /proc data (load averages, free memory) before placing work —
+// plus a rebalancer that proposes migrations off overloaded nodes, i.e.
+// "the distribution or balancing of application tasks between hosts" from
+// the introduction's list of management activities.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dproc/internal/dmon"
+	"dproc/internal/metrics"
+)
+
+// Job is one work request with resource demands.
+type Job struct {
+	// ID is the caller's unique job identifier.
+	ID string
+	// CPUDemand is the run-queue load the job adds (1.0 per busy thread).
+	CPUDemand float64
+	// MemDemand is the job's working set in bytes.
+	MemDemand uint64
+}
+
+// Errors returned by placement.
+var (
+	// ErrNoCapacity means no monitored node can host the job.
+	ErrNoCapacity = errors.New("qos: no node with sufficient capacity")
+	// ErrNoData means no monitoring data has arrived yet.
+	ErrNoData = errors.New("qos: no cluster monitoring data available")
+	// ErrDuplicate means the job ID is already placed.
+	ErrDuplicate = errors.New("qos: job already placed")
+)
+
+// Scheduler is a batch-queue scheduler fed by dproc monitoring data. It
+// tracks its own placements as reservations so that decisions made between
+// monitoring updates do not double-book a node.
+type Scheduler struct {
+	store *dmon.Store
+	// CPUsPerNode bounds acceptable load; the paper's testbed nodes are
+	// quad-processor, and its example wants "load average updates only if
+	// it is less than the number of CPUs".
+	cpusPerNode float64
+
+	mu        sync.Mutex
+	placement map[string]string // job id -> node
+	jobs      map[string]Job
+	resCPU    map[string]float64
+	resMem    map[string]uint64
+}
+
+// NewScheduler returns a scheduler reading cluster state from store.
+// cpusPerNode <= 0 selects the paper's quad-CPU nodes.
+func NewScheduler(store *dmon.Store, cpusPerNode float64) *Scheduler {
+	if cpusPerNode <= 0 {
+		cpusPerNode = 4
+	}
+	return &Scheduler{
+		store:       store,
+		cpusPerNode: cpusPerNode,
+		placement:   map[string]string{},
+		jobs:        map[string]Job{},
+		resCPU:      map[string]float64{},
+		resMem:      map[string]uint64{},
+	}
+}
+
+// NodeState is the scheduler's view of one node.
+type NodeState struct {
+	Node string
+	// Load is the monitored run-queue length plus this scheduler's
+	// not-yet-visible reservations.
+	Load float64
+	// FreeMem is monitored free memory minus reservations.
+	FreeMem uint64
+	// Jobs is how many of this scheduler's jobs run there.
+	Jobs int
+}
+
+// snapshotLocked builds the current per-node view.
+func (s *Scheduler) snapshotLocked() []NodeState {
+	var out []NodeState
+	for _, node := range s.store.Nodes() {
+		load, ok := s.store.Value(node, metrics.LOADAVG)
+		if !ok {
+			continue
+		}
+		free, ok := s.store.Value(node, metrics.FREEMEM)
+		if !ok {
+			continue
+		}
+		st := NodeState{
+			Node: node,
+			Load: load + s.resCPU[node],
+		}
+		reserved := s.resMem[node]
+		if free > float64(reserved) {
+			st.FreeMem = uint64(free) - reserved
+		}
+		for _, placedNode := range s.placement {
+			if placedNode == node {
+				st.Jobs++
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Cluster returns the scheduler's current view of every monitored node.
+func (s *Scheduler) Cluster() []NodeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// fits reports whether a node can host the job.
+func (s *Scheduler) fits(st NodeState, job Job) bool {
+	return st.Load+job.CPUDemand <= s.cpusPerNode && st.FreeMem >= job.MemDemand
+}
+
+// bestLocked returns the best feasible node for job: lowest effective load,
+// ties broken by most free memory, then by name for determinism.
+func (s *Scheduler) bestLocked(job Job, exclude string) (NodeState, bool) {
+	var best NodeState
+	found := false
+	for _, st := range s.snapshotLocked() {
+		if st.Node == exclude || !s.fits(st, job) {
+			continue
+		}
+		if !found ||
+			st.Load < best.Load ||
+			(st.Load == best.Load && st.FreeMem > best.FreeMem) {
+			best = st
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Place assigns the job to the best node and records the reservation.
+func (s *Scheduler) Place(job Job) (string, error) {
+	if job.ID == "" {
+		return "", errors.New("qos: job needs an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.placement[job.ID]; dup {
+		return "", fmt.Errorf("%w: %s", ErrDuplicate, job.ID)
+	}
+	if len(s.store.Nodes()) == 0 {
+		return "", ErrNoData
+	}
+	best, ok := s.bestLocked(job, "")
+	if !ok {
+		return "", ErrNoCapacity
+	}
+	s.placement[job.ID] = best.Node
+	s.jobs[job.ID] = job
+	s.resCPU[best.Node] += job.CPUDemand
+	s.resMem[best.Node] += job.MemDemand
+	return best.Node, nil
+}
+
+// Release removes a job's reservation (e.g. on completion).
+func (s *Scheduler) Release(jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.placement[jobID]
+	if !ok {
+		return fmt.Errorf("qos: unknown job %q", jobID)
+	}
+	job := s.jobs[jobID]
+	s.resCPU[node] -= job.CPUDemand
+	if s.resCPU[node] < 0 {
+		s.resCPU[node] = 0
+	}
+	if s.resMem[node] >= job.MemDemand {
+		s.resMem[node] -= job.MemDemand
+	} else {
+		s.resMem[node] = 0
+	}
+	delete(s.placement, jobID)
+	delete(s.jobs, jobID)
+	return nil
+}
+
+// Placements returns job → node for every active placement.
+func (s *Scheduler) Placements() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.placement))
+	for j, n := range s.placement {
+		out[j] = n
+	}
+	return out
+}
+
+// Move is a proposed migration.
+type Move struct {
+	JobID    string
+	From, To string
+}
+
+// Rebalance proposes migrations: for every node whose monitored load
+// exceeds the CPU count, move this scheduler's smallest job there to the
+// best other node that can take it. Accepted moves update reservations; the
+// caller performs the actual migration ("application-driven check-pointing
+// and migration of tasks" in the paper's terms).
+func (s *Scheduler) Rebalance() []Move {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var moves []Move
+	for _, st := range s.snapshotLocked() {
+		if st.Load <= s.cpusPerNode {
+			continue
+		}
+		// Smallest of our jobs on the hot node.
+		var victim string
+		for jobID, node := range s.placement {
+			if node != st.Node {
+				continue
+			}
+			if victim == "" || s.jobs[jobID].CPUDemand < s.jobs[victim].CPUDemand {
+				victim = jobID
+			}
+		}
+		if victim == "" {
+			continue // load is not ours to move
+		}
+		job := s.jobs[victim]
+		dest, ok := s.bestLocked(job, st.Node)
+		if !ok {
+			continue
+		}
+		s.placement[victim] = dest.Node
+		s.resCPU[st.Node] -= job.CPUDemand
+		if s.resCPU[st.Node] < 0 {
+			s.resCPU[st.Node] = 0
+		}
+		if s.resMem[st.Node] >= job.MemDemand {
+			s.resMem[st.Node] -= job.MemDemand
+		} else {
+			s.resMem[st.Node] = 0
+		}
+		s.resCPU[dest.Node] += job.CPUDemand
+		s.resMem[dest.Node] += job.MemDemand
+		moves = append(moves, Move{JobID: victim, From: st.Node, To: dest.Node})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].JobID < moves[j].JobID })
+	return moves
+}
+
+// ControlForScheduler returns dproc control-file text tuned for this
+// scheduler. The paper's example ("load average updates only if it is less
+// than the number of CPUs") is a pure placement filter: it also suppresses
+// the overload reports Rebalance needs. A differential on the CPU resource
+// serves both purposes — silence while nothing changes, prompt updates when
+// a node goes hot or cools down — with the memory/disk/net resources
+// throttled harder.
+func ControlForScheduler(cpusPerNode float64) string {
+	_ = cpusPerNode // placement headroom is enforced scheduler-side
+	return "diff cpu 20\ndiff mem 10\ndiff disk 25\ndiff net 25\n"
+}
+
+// ControlForPlacementOnly is the paper's literal batch-queue example: a
+// node's load is only interesting while it has a free CPU. Appropriate when
+// the manager never rebalances.
+func ControlForPlacementOnly(cpusPerNode float64) string {
+	return fmt.Sprintf("threshold loadavg below %g\n", cpusPerNode)
+}

@@ -1,0 +1,235 @@
+package qos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/dmon"
+	"dproc/internal/metrics"
+)
+
+// feed puts one node's load and free memory into the store.
+func feed(s *dmon.Store, node string, load float64, freeMem uint64) {
+	s.Update(&metrics.Report{
+		Node: node,
+		Time: clock.Epoch,
+		Samples: []metrics.Sample{
+			{ID: metrics.LOADAVG, Value: load, Time: clock.Epoch},
+			{ID: metrics.FREEMEM, Value: float64(freeMem), Time: clock.Epoch},
+		},
+	})
+}
+
+func newSched(t *testing.T) (*Scheduler, *dmon.Store) {
+	t.Helper()
+	store := dmon.NewStore()
+	return NewScheduler(store, 4), store
+}
+
+func TestPlacePicksLeastLoaded(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 3.0, 400<<20)
+	feed(store, "maui", 0.5, 400<<20)
+	feed(store, "etna", 2.0, 400<<20)
+	node, err := s.Place(Job{ID: "j1", CPUDemand: 1, MemDemand: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "maui" {
+		t.Fatalf("placed on %s, want maui (lowest load)", node)
+	}
+}
+
+func TestPlacementsAccumulateAsReservations(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 0, 400<<20)
+	feed(store, "maui", 0.5, 400<<20)
+	// Four 1-CPU jobs: alan takes j1 (load 0), then j2 sees alan at 1 ...
+	want := []string{"alan", "maui", "alan", "maui"}
+	for i, w := range want {
+		node, err := s.Place(Job{ID: string(rune('a' + i)), CPUDemand: 1, MemDemand: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != w {
+			t.Fatalf("job %d placed on %s, want %s", i, node, w)
+		}
+	}
+	if len(s.Placements()) != 4 {
+		t.Fatalf("placements = %v", s.Placements())
+	}
+}
+
+func TestPlaceRespectsCPUCapacity(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 3.5, 400<<20) // 0.5 CPUs free on a quad node
+	if _, err := s.Place(Job{ID: "big", CPUDemand: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if node, err := s.Place(Job{ID: "small", CPUDemand: 0.5}); err != nil || node != "alan" {
+		t.Fatalf("(%s, %v)", node, err)
+	}
+}
+
+func TestPlaceRespectsMemory(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 0, 100<<20)
+	feed(store, "maui", 2, 500<<20)
+	// alan has less load but not enough memory.
+	node, err := s.Place(Job{ID: "mem", CPUDemand: 1, MemDemand: 200 << 20})
+	if err != nil || node != "maui" {
+		t.Fatalf("(%s, %v), want maui", node, err)
+	}
+	// A job no node can hold.
+	if _, err := s.Place(Job{ID: "huge", CPUDemand: 1, MemDemand: 1 << 40}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	s, store := newSched(t)
+	if _, err := s.Place(Job{ID: "j"}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty store err = %v", err)
+	}
+	feed(store, "alan", 0, 400<<20)
+	if _, err := s.Place(Job{}); err == nil {
+		t.Fatal("empty job ID accepted")
+	}
+	if _, err := s.Place(Job{ID: "j", CPUDemand: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(Job{ID: "j", CPUDemand: 1}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestReleaseFreesReservation(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 3, 400<<20) // 1 CPU free
+	if _, err := s.Place(Job{ID: "j1", CPUDemand: 1, MemDemand: 64 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(Job{ID: "j2", CPUDemand: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Release("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if node, err := s.Place(Job{ID: "j2", CPUDemand: 1}); err != nil || node != "alan" {
+		t.Fatalf("(%s, %v)", node, err)
+	}
+	if err := s.Release("ghost"); err == nil {
+		t.Fatal("releasing unknown job succeeded")
+	}
+}
+
+func TestClusterView(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 1, 400<<20)
+	feed(store, "maui", 2, 300<<20)
+	if _, err := s.Place(Job{ID: "j1", CPUDemand: 1, MemDemand: 100 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	view := s.Cluster()
+	if len(view) != 2 || view[0].Node != "alan" || view[1].Node != "maui" {
+		t.Fatalf("view = %+v", view)
+	}
+	// j1 went to alan: reservation visible.
+	if view[0].Load != 2 || view[0].FreeMem != 300<<20 || view[0].Jobs != 1 {
+		t.Fatalf("alan view = %+v", view[0])
+	}
+	if view[1].Jobs != 0 {
+		t.Fatalf("maui view = %+v", view[1])
+	}
+}
+
+func TestRebalanceMovesJobOffHotNode(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 0, 400<<20)
+	feed(store, "maui", 0, 400<<20)
+	// Place two jobs; both land spread across nodes. Then alan gets hot
+	// from external load (monitored), exceeding 4 CPUs.
+	if _, err := s.Place(Job{ID: "j1", CPUDemand: 1, MemDemand: 10 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	where := s.Placements()["j1"]
+	other := "maui"
+	if where == "maui" {
+		other = "alan"
+	}
+	// External load pushes the job's node over capacity.
+	feed(store, where, 4.5, 400<<20)
+	moves := s.Rebalance()
+	if len(moves) != 1 || moves[0].JobID != "j1" || moves[0].From != where || moves[0].To != other {
+		t.Fatalf("moves = %+v", moves)
+	}
+	if s.Placements()["j1"] != other {
+		t.Fatal("placement not updated after rebalance")
+	}
+	// A second rebalance with unchanged data proposes nothing new for j1's
+	// new home (it is cool).
+	if moves := s.Rebalance(); len(moves) != 0 {
+		t.Fatalf("second rebalance = %+v", moves)
+	}
+}
+
+func TestRebalanceLeavesForeignLoadAlone(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 6, 400<<20) // hot, but none of our jobs run there
+	feed(store, "maui", 0, 400<<20)
+	if moves := s.Rebalance(); len(moves) != 0 {
+		t.Fatalf("moves = %+v (nothing of ours to move)", moves)
+	}
+}
+
+func TestRebalanceNoDestination(t *testing.T) {
+	s, store := newSched(t)
+	feed(store, "alan", 0, 400<<20)
+	if _, err := s.Place(Job{ID: "j1", CPUDemand: 1}); err != nil {
+		t.Fatal(err)
+	}
+	feed(store, "alan", 5, 400<<20) // hot, and nowhere to go
+	if moves := s.Rebalance(); len(moves) != 0 {
+		t.Fatalf("moves = %+v, want none without a destination", moves)
+	}
+}
+
+func TestControlForScheduler(t *testing.T) {
+	text := ControlForScheduler(4)
+	if !strings.Contains(text, "diff cpu") {
+		t.Fatalf("control = %q", text)
+	}
+	// It must parse as valid dproc control text.
+	if _, err := dmon.ParseControl(text); err != nil {
+		t.Fatal(err)
+	}
+	placement := ControlForPlacementOnly(4)
+	if !strings.Contains(placement, "threshold loadavg below 4") {
+		t.Fatalf("placement control = %q", placement)
+	}
+	if _, err := dmon.ParseControl(placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCPUs(t *testing.T) {
+	s := NewScheduler(dmon.NewStore(), 0)
+	if s.cpusPerNode != 4 {
+		t.Fatalf("default CPUs = %g (paper nodes are quad)", s.cpusPerNode)
+	}
+}
+
+func TestSchedulerIgnoresNodesWithPartialData(t *testing.T) {
+	s, store := newSched(t)
+	// A node that has only reported load (no memory) is not schedulable.
+	store.Update(&metrics.Report{
+		Node: "halfnode", Time: clock.Epoch.Add(time.Second),
+		Samples: []metrics.Sample{{ID: metrics.LOADAVG, Value: 0}},
+	})
+	if _, err := s.Place(Job{ID: "j", CPUDemand: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+}

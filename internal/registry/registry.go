@@ -1,0 +1,404 @@
+// Package registry implements the channel directory service of the dproc
+// architecture: the user-level "channel registry" that d-mon modules contact
+// to create channels and to find existing ones. The first node to contact
+// the registry creates the monitoring and control channels; later nodes look
+// the channels up and join, learning the current member list so they can
+// establish direct peer-to-peer connections.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"dproc/internal/wire"
+)
+
+// Request and response message types.
+const (
+	msgCreate uint8 = iota + 1
+	msgJoin
+	msgLeave
+	msgLookup
+	msgList
+	msgOK
+	msgError
+)
+
+// Member is one channel participant: a stable ID and the TCP address its
+// event listener is reachable at.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// Server is the directory server. Zero value is not usable; construct with
+// NewServer.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	channels map[string]map[string]Member // channel -> member id -> member
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer starts a registry server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("registry: listen: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		channels: make(map[string]map[string]Member),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address clients should dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, closing the listener and every active client
+// connection, and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Channels returns the names of all registered channels, sorted.
+func (s *Server) Channels() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.channels))
+	for name := range s.channels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberCount returns the number of members in a channel (0 if absent).
+func (s *Server) MemberCount(channel string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.channels[channel])
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection, processing requests until EOF.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply, err := s.handle(typ, payload)
+		if err != nil {
+			e := wire.NewEncoder(64)
+			e.String(err.Error())
+			if werr := wire.WriteFrame(conn, msgError, e.Bytes()); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := wire.WriteFrame(conn, msgOK, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
+	d := wire.NewDecoder(payload)
+	switch typ {
+	case msgCreate:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, errors.New("empty channel name")
+		}
+		s.mu.Lock()
+		_, existed := s.channels[name]
+		if !existed {
+			s.channels[name] = make(map[string]Member)
+		}
+		s.mu.Unlock()
+		e := wire.NewEncoder(8)
+		e.Bool(!existed)
+		return e.Bytes(), nil
+	case msgJoin:
+		name := d.String()
+		id := d.String()
+		addr := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if id == "" || addr == "" {
+			return nil, errors.New("join requires member id and address")
+		}
+		s.mu.Lock()
+		ch, ok := s.channels[name]
+		if !ok {
+			// Auto-create on join: the paper's first-contact-creates rule.
+			ch = make(map[string]Member)
+			s.channels[name] = ch
+		}
+		// Snapshot the members present before this join; the joiner dials
+		// exactly these peers.
+		peers := make([]Member, 0, len(ch))
+		for _, m := range ch {
+			if m.ID != id {
+				peers = append(peers, m)
+			}
+		}
+		ch[id] = Member{ID: id, Addr: addr}
+		s.mu.Unlock()
+		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+		return encodeMembers(peers), nil
+	case msgLeave:
+		name := d.String()
+		id := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if ch, ok := s.channels[name]; ok {
+			delete(ch, id)
+		}
+		s.mu.Unlock()
+		return nil, nil
+	case msgLookup:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		ch, ok := s.channels[name]
+		var members []Member
+		if ok {
+			members = make([]Member, 0, len(ch))
+			for _, m := range ch {
+				members = append(members, m)
+			}
+		}
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("channel %q does not exist", name)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		return encodeMembers(members), nil
+	case msgList:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		names := s.Channels()
+		e := wire.NewEncoder(64)
+		e.Uint32(uint32(len(names)))
+		for _, n := range names {
+			e.String(n)
+		}
+		return e.Bytes(), nil
+	}
+	return nil, fmt.Errorf("unknown request type %d", typ)
+}
+
+func encodeMembers(members []Member) []byte {
+	e := wire.NewEncoder(32 * (len(members) + 1))
+	e.Uint32(uint32(len(members)))
+	for _, m := range members {
+		e.String(m.ID)
+		e.String(m.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodeMembers(payload []byte) ([]Member, error) {
+	d := wire.NewDecoder(payload)
+	n := d.Uint32()
+	if int(n) > 1<<20 {
+		return nil, errors.New("registry: implausible member count")
+	}
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: d.String(), Addr: d.String()}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Client talks to a registry server. It opens one connection lazily and
+// serializes requests on it; registry traffic is rare (joins and lookups),
+// so a single connection suffices.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient returns a client for the registry at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Close releases the client's connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one request and decodes the reply, reconnecting once if
+// the cached connection has gone stale.
+func (c *Client) roundTrip(typ uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return nil, fmt.Errorf("registry: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		if err := wire.WriteFrame(c.conn, typ, payload); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		rtyp, reply, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		if rtyp == msgError {
+			d := wire.NewDecoder(reply)
+			return nil, fmt.Errorf("registry: %s", d.String())
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("registry: cannot reach server at %s", c.addr)
+}
+
+// Create registers a channel name; reports whether this call created it.
+func (c *Client) Create(channel string) (created bool, err error) {
+	e := wire.NewEncoder(32)
+	e.String(channel)
+	reply, err := c.roundTrip(msgCreate, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	d := wire.NewDecoder(reply)
+	created = d.Bool()
+	return created, d.Finish()
+}
+
+// Join adds a member to a channel (creating the channel if needed) and
+// returns the members that were present before the join — the peers the
+// caller must dial.
+func (c *Client) Join(channel, memberID, addr string) ([]Member, error) {
+	e := wire.NewEncoder(96)
+	e.String(channel)
+	e.String(memberID)
+	e.String(addr)
+	reply, err := c.roundTrip(msgJoin, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeMembers(reply)
+}
+
+// Leave removes a member from a channel.
+func (c *Client) Leave(channel, memberID string) error {
+	e := wire.NewEncoder(64)
+	e.String(channel)
+	e.String(memberID)
+	_, err := c.roundTrip(msgLeave, e.Bytes())
+	return err
+}
+
+// Lookup returns a channel's current members.
+func (c *Client) Lookup(channel string) ([]Member, error) {
+	e := wire.NewEncoder(32)
+	e.String(channel)
+	reply, err := c.roundTrip(msgLookup, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeMembers(reply)
+}
+
+// List returns all channel names.
+func (c *Client) List() ([]string, error) {
+	reply, err := c.roundTrip(msgList, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(reply)
+	n := d.Uint32()
+	if int(n) > 1<<20 {
+		return nil, errors.New("registry: implausible channel count")
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.String()
+	}
+	return out, d.Finish()
+}

@@ -1,0 +1,286 @@
+// Package smartpointer reproduces the SmartPointer scientific visualization
+// application used in the paper's evaluation (Section 4.2): a server streams
+// molecular dynamics frames to heterogeneous clients, and the data stream
+// can be customized per client with tunable filters — full feed, velocity
+// removal, atom subsampling, quantization, or server-side pre-rendering.
+// Three server policies are modeled, matching the paper's comparison: no
+// filter, a static client-specified filter, and a dynamic filter driven by
+// dproc monitoring information about each client's CPU, network and disk.
+package smartpointer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Atom layout in a full frame: 3×float32 position, 3×float32 velocity,
+// int32 species.
+const (
+	atomBytes = 28
+	// DefaultAtoms gives ~3 MB frames, the event size of the paper's
+	// network experiment (Figure 10).
+	DefaultAtoms = 112_000
+)
+
+// Frame is one molecular dynamics timestep.
+type Frame struct {
+	Seq   uint64
+	Atoms int
+	// Data holds positions[3]float32, velocities[3]float32, species int32
+	// per atom, little-endian.
+	Data []byte
+}
+
+// FullSize returns the encoded size of a full frame with n atoms.
+func FullSize(n int) int { return n * atomBytes }
+
+// Generator produces a deterministic sequence of MD frames: atoms move in a
+// box with slightly damped random velocities, as a stand-in for the
+// Terascale-style simulation output the paper streams.
+type Generator struct {
+	atoms int
+	rng   *rand.Rand
+	pos   []float32 // 3 per atom
+	vel   []float32
+	seq   uint64
+}
+
+// NewGenerator creates a generator for n atoms (0 selects DefaultAtoms).
+func NewGenerator(n int, seed int64) *Generator {
+	if n <= 0 {
+		n = DefaultAtoms
+	}
+	g := &Generator{
+		atoms: n,
+		rng:   rand.New(rand.NewSource(seed)),
+		pos:   make([]float32, 3*n),
+		vel:   make([]float32, 3*n),
+	}
+	for i := range g.pos {
+		g.pos[i] = g.rng.Float32() * 100
+		g.vel[i] = (g.rng.Float32() - 0.5) * 2
+	}
+	return g
+}
+
+// Atoms returns the configured atom count.
+func (g *Generator) Atoms() int { return g.atoms }
+
+// Next advances the simulation one step and encodes the frame.
+func (g *Generator) Next() *Frame {
+	g.seq++
+	const dt = 0.01
+	for i := range g.pos {
+		g.pos[i] += g.vel[i] * dt
+		// Reflect at the box walls.
+		if g.pos[i] < 0 {
+			g.pos[i], g.vel[i] = -g.pos[i], -g.vel[i]
+		} else if g.pos[i] > 100 {
+			g.pos[i], g.vel[i] = 200-g.pos[i], -g.vel[i]
+		}
+	}
+	data := make([]byte, FullSize(g.atoms))
+	off := 0
+	for a := 0; a < g.atoms; a++ {
+		for k := 0; k < 3; k++ {
+			binary.LittleEndian.PutUint32(data[off:], math.Float32bits(g.pos[3*a+k]))
+			off += 4
+		}
+		for k := 0; k < 3; k++ {
+			binary.LittleEndian.PutUint32(data[off:], math.Float32bits(g.vel[3*a+k]))
+			off += 4
+		}
+		binary.LittleEndian.PutUint32(data[off:], uint32(a%4))
+		off += 4
+	}
+	return &Frame{Seq: g.seq, Atoms: g.atoms, Data: data}
+}
+
+// Transform is one stream customization a client (or the server, on its
+// behalf) can apply, the paper's "tunable data filter".
+type Transform int
+
+// Stream transforms, ordered roughly from richest to most reduced.
+const (
+	// Full sends the unmodified data feed.
+	Full Transform = iota
+	// DropVelocity removes velocity data (the paper's example), keeping
+	// positions and species.
+	DropVelocity
+	// Quantize halves precision: positions/velocities as 16-bit fixed point.
+	Quantize
+	// Subsample2 keeps every 2nd atom.
+	Subsample2
+	// Subsample4 keeps every 4th atom.
+	Subsample4
+	// PreRender replaces the data with a server-rendered image; the client
+	// does almost no processing but the payload is *larger* than the raw
+	// frame (the Figure 11 effect: CPU-only adaptation inflates network and
+	// disk load).
+	PreRender
+	// RenderSubsample renders from a subsampled frame: small payload and
+	// small client cost, at the price of visual fidelity and server work.
+	RenderSubsample
+	NumTransforms
+)
+
+var transformNames = [NumTransforms]string{
+	"full", "dropvel", "quantize", "subsample2", "subsample4", "prerender", "rendersub",
+}
+
+// String names the transform.
+func (t Transform) String() string {
+	if t < 0 || t >= NumTransforms {
+		return fmt.Sprintf("transform(%d)", int(t))
+	}
+	return transformNames[t]
+}
+
+// ParseTransform maps a name back to a Transform.
+func ParseTransform(s string) (Transform, bool) {
+	for i, n := range transformNames {
+		if n == s {
+			return Transform(i), true
+		}
+	}
+	return 0, false
+}
+
+// transformProps drive the analytic stream model: payload size relative to
+// the full frame, and the client's per-byte processing multiplier (reduced
+// data needs reconstruction/interpolation work per byte; rendered data
+// needs almost none).
+var transformProps = [NumTransforms]struct {
+	sizeFactor float64
+	costFactor float64
+}{
+	Full:            {1.00, 1.00},
+	DropVelocity:    {0.57, 1.15},
+	Quantize:        {0.50, 1.30},
+	Subsample2:      {0.50, 1.60},
+	Subsample4:      {0.25, 2.20},
+	PreRender:       {1.40, 0.05},
+	RenderSubsample: {0.35, 0.08},
+}
+
+// SizeFactor returns the transform's payload size relative to Full.
+func (t Transform) SizeFactor() float64 {
+	if t < 0 || t >= NumTransforms {
+		return 1
+	}
+	return transformProps[t].sizeFactor
+}
+
+// CostFactor returns the client's per-byte processing multiplier.
+func (t Transform) CostFactor() float64 {
+	if t < 0 || t >= NumTransforms {
+		return 1
+	}
+	return transformProps[t].costFactor
+}
+
+// renderSide is the pre-rendered image edge; the image is three projected
+// float32 density planes, deliberately larger than a raw frame at the
+// default atom count.
+const renderSide = 592
+
+// Apply materializes the transform on real frame data, returning the
+// payload that would travel the wire. Used by the live streaming example
+// and by tests; the analytic experiments use SizeFactor directly.
+func (t Transform) Apply(f *Frame) []byte {
+	switch t {
+	case Full:
+		out := make([]byte, len(f.Data))
+		copy(out, f.Data)
+		return out
+	case DropVelocity:
+		// 3×float32 pos + int32 species = 16 of 28 bytes per atom.
+		out := make([]byte, 0, f.Atoms*16)
+		for a := 0; a < f.Atoms; a++ {
+			base := a * atomBytes
+			out = append(out, f.Data[base:base+12]...)
+			out = append(out, f.Data[base+24:base+28]...)
+		}
+		return out
+	case Quantize:
+		// 6×int16 + int16 species = 14 of 28 bytes per atom.
+		out := make([]byte, 0, f.Atoms*14)
+		var buf [2]byte
+		for a := 0; a < f.Atoms; a++ {
+			base := a * atomBytes
+			for k := 0; k < 6; k++ {
+				v := math.Float32frombits(binary.LittleEndian.Uint32(f.Data[base+4*k:]))
+				binary.LittleEndian.PutUint16(buf[:], uint16(int16(v*64)))
+				out = append(out, buf[:]...)
+			}
+			species := binary.LittleEndian.Uint32(f.Data[base+24:])
+			binary.LittleEndian.PutUint16(buf[:], uint16(species))
+			out = append(out, buf[:]...)
+		}
+		return out
+	case Subsample2:
+		return subsample(f, 2)
+	case Subsample4:
+		return subsample(f, 4)
+	case PreRender:
+		return renderDensity(f, 1)
+	case RenderSubsample:
+		return renderDensitySmall(f)
+	}
+	out := make([]byte, len(f.Data))
+	copy(out, f.Data)
+	return out
+}
+
+func subsample(f *Frame, stride int) []byte {
+	out := make([]byte, 0, f.Atoms/stride*atomBytes+atomBytes)
+	for a := 0; a < f.Atoms; a += stride {
+		base := a * atomBytes
+		out = append(out, f.Data[base:base+atomBytes]...)
+	}
+	return out
+}
+
+// renderDensity projects atoms onto three axis-aligned planes of
+// side×side float32 density cells.
+func renderDensity(f *Frame, scale int) []byte {
+	side := renderSide / scale
+	planes := make([]float32, 3*side*side)
+	for a := 0; a < f.Atoms; a++ {
+		base := a * atomBytes
+		var p [3]float64
+		for k := 0; k < 3; k++ {
+			p[k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(f.Data[base+4*k:])))
+		}
+		cell := func(x, y float64) int {
+			i := int(x / 100 * float64(side))
+			j := int(y / 100 * float64(side))
+			if i < 0 {
+				i = 0
+			}
+			if i >= side {
+				i = side - 1
+			}
+			if j < 0 {
+				j = 0
+			}
+			if j >= side {
+				j = side - 1
+			}
+			return i*side + j
+		}
+		planes[cell(p[0], p[1])]++
+		planes[side*side+cell(p[0], p[2])]++
+		planes[2*side*side+cell(p[1], p[2])]++
+	}
+	out := make([]byte, 4*len(planes))
+	for i, v := range planes {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// renderDensitySmall renders at quarter resolution for RenderSubsample.
+func renderDensitySmall(f *Frame) []byte { return renderDensity(f, 2) }

@@ -1,0 +1,105 @@
+// Package supermon implements the baseline dproc is compared against in the
+// paper's related work: Supermon's centralized cluster monitoring. Each node
+// runs a small status server (the kernel-patch/sysctl analogue) answering
+// pull requests with its current metrics encoded as symbolic expressions —
+// Supermon's wire format, chosen there for heterogeneity — and a single
+// central data concentrator polls every node and merges the results. The
+// package exists so the architectural contrast (central pull vs. dproc's
+// peer-to-peer push) can be measured, not just asserted: see
+// BenchmarkBaselineSupermonVsDproc.
+package supermon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Sexp is a symbolic expression: an atom (symbol or number) or a list.
+type Sexp struct {
+	// Atom holds the token text when the node is an atom (List is nil).
+	Atom string
+	// List holds child expressions when the node is a list.
+	List []*Sexp
+	// isList distinguishes the empty list () from the empty atom.
+	isList bool
+}
+
+// Sym builds a symbol atom.
+func Sym(s string) *Sexp { return &Sexp{Atom: s} }
+
+// Num builds a numeric atom.
+func Num(v float64) *Sexp { return &Sexp{Atom: strconv.FormatFloat(v, 'g', -1, 64)} }
+
+// ListOf builds a list node.
+func ListOf(children ...*Sexp) *Sexp { return &Sexp{List: children, isList: true} }
+
+// IsList reports whether the node is a list.
+func (s *Sexp) IsList() bool { return s.isList }
+
+// Float parses the atom as a number.
+func (s *Sexp) Float() (float64, error) {
+	if s.isList {
+		return 0, fmt.Errorf("supermon: list is not a number")
+	}
+	return strconv.ParseFloat(s.Atom, 64)
+}
+
+// Nth returns the i-th child of a list (nil if out of range or not a list).
+func (s *Sexp) Nth(i int) *Sexp {
+	if !s.isList || i < 0 || i >= len(s.List) {
+		return nil
+	}
+	return s.List[i]
+}
+
+// String renders the expression in canonical form.
+func (s *Sexp) String() string {
+	if !s.isList {
+		return s.Atom
+	}
+	parts := make([]string, len(s.List))
+	for i, c := range s.List {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// ParseSexp parses one expression from the input, returning it and any
+// trailing text.
+func ParseSexp(input string) (*Sexp, string, error) {
+	rest := strings.TrimLeftFunc(input, unicode.IsSpace)
+	if rest == "" {
+		return nil, "", fmt.Errorf("supermon: empty input")
+	}
+	if rest[0] == '(' {
+		rest = rest[1:]
+		node := &Sexp{isList: true}
+		for {
+			rest = strings.TrimLeftFunc(rest, unicode.IsSpace)
+			if rest == "" {
+				return nil, "", fmt.Errorf("supermon: unterminated list")
+			}
+			if rest[0] == ')' {
+				return node, rest[1:], nil
+			}
+			child, r, err := ParseSexp(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			node.List = append(node.List, child)
+			rest = r
+		}
+	}
+	if rest[0] == ')' {
+		return nil, "", fmt.Errorf("supermon: unexpected ')'")
+	}
+	end := strings.IndexFunc(rest, func(r rune) bool {
+		return unicode.IsSpace(r) || r == '(' || r == ')'
+	})
+	if end < 0 {
+		end = len(rest)
+	}
+	return &Sexp{Atom: rest[:end]}, rest[end:], nil
+}

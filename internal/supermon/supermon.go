@@ -1,0 +1,245 @@
+package supermon
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dproc/internal/dmon"
+	"dproc/internal/metrics"
+)
+
+// NodeServer is the per-node half of the Supermon architecture: it answers
+// "poll" requests with the node's current metrics as one s-expression —
+// the rstat/sysctl export of the original. Protocol: the client sends a
+// line ("poll\n"), the server replies with one line holding the expression.
+type NodeServer struct {
+	name string
+	src  dmon.Source
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	polls  uint64
+}
+
+// NewNodeServer starts a status server for the named node backed by src.
+func NewNodeServer(name string, src dmon.Source, addr string) (*NodeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("supermon: listen: %w", err)
+	}
+	s := &NodeServer{name: name, src: src, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *NodeServer) Addr() string { return s.ln.Addr().String() }
+
+// Polls reports how many poll requests the node has served.
+func (s *NodeServer) Polls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls
+}
+
+// Close stops the server.
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *NodeServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *NodeServer) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if line != "poll\n" {
+			fmt.Fprintf(conn, "(error unknown-request)\n")
+			continue
+		}
+		s.mu.Lock()
+		s.polls++
+		s.mu.Unlock()
+		if _, err := fmt.Fprintln(conn, s.Snapshot().String()); err != nil {
+			return
+		}
+	}
+}
+
+// Snapshot encodes the node's current metrics:
+// (mon <name> (loadavg 1.5) (freemem 4.2e8) ...).
+func (s *NodeServer) Snapshot() *Sexp {
+	out := ListOf(Sym("mon"), Sym(s.name))
+	for _, id := range metrics.AllIDs() {
+		out.List = append(out.List, ListOf(Sym(id.String()), Num(s.src.Sample(id))))
+	}
+	return out
+}
+
+// DecodeSnapshot parses a node expression back into metric values.
+func DecodeSnapshot(sx *Sexp) (node string, values map[metrics.ID]float64, err error) {
+	if !sx.IsList() || len(sx.List) < 2 || sx.Nth(0).Atom != "mon" {
+		return "", nil, fmt.Errorf("supermon: not a mon expression: %s", sx)
+	}
+	node = sx.Nth(1).Atom
+	values = make(map[metrics.ID]float64, len(sx.List)-2)
+	for _, entry := range sx.List[2:] {
+		if !entry.IsList() || len(entry.List) != 2 {
+			return "", nil, fmt.Errorf("supermon: malformed metric entry %s", entry)
+		}
+		id, ok := metrics.ParseID(entry.Nth(0).Atom)
+		if !ok {
+			continue // unknown metric from a newer node: skip, don't fail
+		}
+		v, err := entry.Nth(1).Float()
+		if err != nil {
+			return "", nil, fmt.Errorf("supermon: metric %s: %w", entry.Nth(0).Atom, err)
+		}
+		values[id] = v
+	}
+	return node, values, nil
+}
+
+// Collector is the central data concentrator: it polls every registered
+// node serially over persistent connections and merges the replies — the
+// design whose scalability the paper questions ("Scalability can be a
+// problem in Supermon because of the centralized data concentrator").
+type Collector struct {
+	mu    sync.Mutex
+	nodes []string // addresses
+	conns map[string]*collectorConn
+}
+
+type collectorConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// NewCollector returns a collector polling the given node addresses.
+func NewCollector(addrs ...string) *Collector {
+	sorted := append([]string(nil), addrs...)
+	sort.Strings(sorted)
+	return &Collector{nodes: sorted, conns: map[string]*collectorConn{}}
+}
+
+// Close releases all connections.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+	c.conns = map[string]*collectorConn{}
+}
+
+func (c *Collector) conn(addr string) (*collectorConn, error) {
+	if cc, ok := c.conns[addr]; ok {
+		return cc, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cc := &collectorConn{conn: conn, r: bufio.NewReader(conn)}
+	c.conns[addr] = cc
+	return cc, nil
+}
+
+// Cluster is one merged collection round: node name → metric values.
+type Cluster map[string]map[metrics.ID]float64
+
+// CollectOnce polls every node once and merges the snapshots. Nodes that
+// fail to answer are skipped (and their cached connection dropped); err
+// reports the last failure.
+func (c *Collector) CollectOnce() (Cluster, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Cluster{}
+	var lastErr error
+	for _, addr := range c.nodes {
+		cc, err := c.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := fmt.Fprintln(cc.conn, "poll"); err != nil {
+			cc.conn.Close()
+			delete(c.conns, addr)
+			lastErr = err
+			continue
+		}
+		line, err := cc.r.ReadString('\n')
+		if err != nil {
+			cc.conn.Close()
+			delete(c.conns, addr)
+			lastErr = err
+			continue
+		}
+		sx, _, err := ParseSexp(line)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		node, values, err := DecodeSnapshot(sx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out[node] = values
+	}
+	return out, lastErr
+}

@@ -1,0 +1,229 @@
+package supermon
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dproc/internal/clock"
+	"dproc/internal/metrics"
+	"dproc/internal/simres"
+)
+
+func TestSexpRender(t *testing.T) {
+	sx := ListOf(Sym("mon"), Sym("alan"), ListOf(Sym("loadavg"), Num(1.5)))
+	if got := sx.String(); got != "(mon alan (loadavg 1.5))" {
+		t.Fatalf("String = %q", got)
+	}
+	if ListOf().String() != "()" {
+		t.Fatal("empty list render")
+	}
+	if Sym("x").String() != "x" {
+		t.Fatal("atom render")
+	}
+}
+
+func TestSexpParse(t *testing.T) {
+	sx, rest, err := ParseSexp("(mon alan (loadavg 1.5) (freemem 4.2e+08)) trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(rest) != "trailing" {
+		t.Fatalf("rest = %q", rest)
+	}
+	if !sx.IsList() || len(sx.List) != 4 {
+		t.Fatalf("parsed = %s", sx)
+	}
+	if sx.Nth(0).Atom != "mon" || sx.Nth(1).Atom != "alan" {
+		t.Fatalf("parsed = %s", sx)
+	}
+	v, err := sx.Nth(2).Nth(1).Float()
+	if err != nil || v != 1.5 {
+		t.Fatalf("loadavg = (%g, %v)", v, err)
+	}
+}
+
+func TestSexpParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "(unclosed", ")", "(a (b)", "(a ))extra"} {
+		if _, _, err := ParseSexp(bad); err != nil {
+			continue
+		}
+		// "(a ))extra" parses "(a )" leaving ")extra" — that's legal; only
+		// genuinely broken inputs must fail.
+		if bad != "(a ))extra" {
+			t.Errorf("ParseSexp(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSexpNthOutOfRange(t *testing.T) {
+	sx := ListOf(Sym("a"))
+	if sx.Nth(5) != nil || sx.Nth(-1) != nil {
+		t.Fatal("Nth out of range not nil")
+	}
+	if Sym("a").Nth(0) != nil {
+		t.Fatal("Nth on atom not nil")
+	}
+	if _, err := ListOf().Float(); err == nil {
+		t.Fatal("Float on list succeeded")
+	}
+}
+
+// Property: rendered expressions parse back identically.
+func TestQuickSexpRoundTrip(t *testing.T) {
+	// Build random trees from a seed int slice.
+	var build func(vals []float64, depth int) *Sexp
+	build = func(vals []float64, depth int) *Sexp {
+		if depth <= 0 || len(vals) == 0 {
+			return Num(123)
+		}
+		node := ListOf(Sym("n"))
+		for i, v := range vals {
+			if i > 4 {
+				break
+			}
+			if int(v)%2 == 0 {
+				node.List = append(node.List, Num(v))
+			} else {
+				node.List = append(node.List, build(vals[i+1:], depth-1))
+			}
+		}
+		return node
+	}
+	f := func(vals []float64) bool {
+		for i, v := range vals { // sanitize NaN/Inf which don't round-trip as atoms
+			if v != v || v > 1e300 || v < -1e300 {
+				vals[i] = 1
+			}
+		}
+		sx := build(vals, 3)
+		parsed, rest, err := ParseSexp(sx.String())
+		if err != nil || strings.TrimSpace(rest) != "" {
+			return false
+		}
+		return parsed.String() == sx.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newNode(t *testing.T, name string, load float64) *NodeServer {
+	t.Helper()
+	clk := clock.NewVirtual(clock.Epoch)
+	host := simres.NewHost(name, clk, 1)
+	host.SetNoise(0)
+	if load > 0 {
+		host.AddTask(load)
+	}
+	srv, err := NewNodeServer(name, host, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestSnapshotEncodesAllMetrics(t *testing.T) {
+	srv := newNode(t, "alan", 2)
+	sx := srv.Snapshot()
+	node, values, err := DecodeSnapshot(sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "alan" {
+		t.Fatalf("node = %q", node)
+	}
+	if len(values) != int(metrics.NumIDs) {
+		t.Fatalf("values = %d, want %d", len(values), metrics.NumIDs)
+	}
+	if values[metrics.LOADAVG] != 2 {
+		t.Fatalf("loadavg = %g", values[metrics.LOADAVG])
+	}
+}
+
+func TestDecodeSnapshotErrors(t *testing.T) {
+	if _, _, err := DecodeSnapshot(Sym("x")); err == nil {
+		t.Fatal("atom accepted")
+	}
+	bad, _, _ := ParseSexp("(mon alan (loadavg notanumber))")
+	if _, _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	malformed, _, _ := ParseSexp("(mon alan (loadavg))")
+	if _, _, err := DecodeSnapshot(malformed); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	// Unknown metrics are skipped, not fatal (heterogeneity).
+	unknown, _, _ := ParseSexp("(mon alan (futurething 9) (loadavg 1))")
+	_, values, err := DecodeSnapshot(unknown)
+	if err != nil || values[metrics.LOADAVG] != 1 || len(values) != 1 {
+		t.Fatalf("values=%v err=%v", values, err)
+	}
+}
+
+func TestCollectorMergesCluster(t *testing.T) {
+	a := newNode(t, "alan", 1)
+	b := newNode(t, "maui", 3)
+	c := newNode(t, "etna", 0)
+	col := NewCollector(a.Addr(), b.Addr(), c.Addr())
+	defer col.Close()
+	cluster, err := col.CollectOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cluster) != 3 {
+		t.Fatalf("cluster = %v", cluster)
+	}
+	if cluster["alan"][metrics.LOADAVG] != 1 || cluster["maui"][metrics.LOADAVG] != 3 ||
+		cluster["etna"][metrics.LOADAVG] != 0 {
+		t.Fatalf("loads = %v", cluster)
+	}
+	// Each node served exactly one poll.
+	for _, srv := range []*NodeServer{a, b, c} {
+		if srv.Polls() != 1 {
+			t.Fatalf("polls = %d", srv.Polls())
+		}
+	}
+	// Second round reuses connections.
+	if _, err := col.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Polls() != 2 {
+		t.Fatalf("polls after round 2 = %d", a.Polls())
+	}
+}
+
+func TestCollectorSkipsDeadNode(t *testing.T) {
+	a := newNode(t, "alan", 1)
+	dead := newNode(t, "ghost", 0)
+	addr := dead.Addr()
+	dead.Close()
+	col := NewCollector(a.Addr(), addr)
+	defer col.Close()
+	cluster, err := col.CollectOnce()
+	if err == nil {
+		t.Fatal("dead node produced no error")
+	}
+	if len(cluster) != 1 || cluster["alan"] == nil {
+		t.Fatalf("cluster = %v", cluster)
+	}
+}
+
+func TestNodeServerUnknownRequest(t *testing.T) {
+	srv := newNode(t, "alan", 0)
+	col := NewCollector(srv.Addr())
+	defer col.Close()
+	// Direct protocol poke via the collector's connection logic is awkward;
+	// use a raw round trip instead.
+	cc, err := col.conn(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(cc.conn, "dance")
+	line, err := cc.r.ReadString('\n')
+	if err != nil || !strings.Contains(line, "error") {
+		t.Fatalf("reply = (%q, %v)", line, err)
+	}
+}

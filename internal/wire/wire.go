@@ -1,0 +1,268 @@
+// Package wire implements the compact binary framing and field codec used by
+// the KECho event channels and the channel registry. The paper's kernel
+// modules exchange fixed binary records over kernel sockets; this codec plays
+// the same role for the user-space reproduction: length-prefixed frames with
+// a one-byte message type, and a sticky-error field encoder/decoder so call
+// sites stay free of per-field error plumbing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// Magic marks the start of every frame; it guards against desync and
+	// cross-protocol connections.
+	Magic uint16 = 0xDC03 // "dproc 2003"
+	// Version is the wire protocol version.
+	Version uint8 = 1
+	// HeaderSize is the fixed frame header size in bytes:
+	// magic(2) + version(1) + type(1) + length(4).
+	HeaderSize = 8
+	// MaxFrameSize bounds a frame payload (16 MiB) so a corrupt length field
+	// cannot drive an unbounded allocation. SmartPointer frames (3 MB) fit
+	// with ample headroom.
+	MaxFrameSize = 16 << 20
+)
+
+// Errors returned by frame and field decoding.
+var (
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrFrameSize  = errors.New("wire: frame exceeds maximum size")
+	ErrShortField = errors.New("wire: field extends past end of payload")
+	ErrTrailing   = errors.New("wire: trailing bytes after last field")
+)
+
+// WriteFrame writes one frame (header + payload) to w.
+func WriteFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameSize
+	}
+	hdr := make([]byte, HeaderSize, HeaderSize+len(payload))
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = msgType
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	// A single Write keeps the frame atomic with respect to concurrent
+	// writers that serialize on a mutex around this call.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame from r, returning its type and payload.
+func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	var hdr [HeaderSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+	}
+	msgType = hdr[3]
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameSize
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame payload: %w", err)
+	}
+	return msgType, payload, nil
+}
+
+// Encoder serializes fields into a growable buffer. The zero value is ready
+// to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with capacity preallocated for n bytes.
+func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded buffer. The buffer is owned by the encoder and
+// valid until the next mutating call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Uint16 appends a big-endian 16-bit value.
+func (e *Encoder) Uint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// Uint32 appends a big-endian 32-bit value.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Uint64 appends a big-endian 64-bit value.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a 64-bit signed value (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Float64 appends an IEEE-754 double.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Time appends a timestamp as nanoseconds since the Unix epoch.
+func (e *Encoder) Time(t time.Time) { e.Int64(t.UnixNano()) }
+
+// String appends a length-prefixed UTF-8 string (max 4 GiB).
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// BytesField appends a length-prefixed byte slice.
+func (e *Encoder) BytesField(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder deserializes fields from a buffer with a sticky error: after the
+// first failure every subsequent read returns the zero value, and Err()
+// reports the original problem. This mirrors the kernel pattern of a single
+// validity check after parsing a whole record.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf. The decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left to decode.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns an error if decoding failed or bytes remain unconsumed.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortField
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint16 reads a big-endian 16-bit value.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// Uint32 reads a big-endian 32-bit value.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian 64-bit value.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a 64-bit signed value.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Time reads a timestamp encoded as Unix nanoseconds.
+func (d *Decoder) Time() time.Time {
+	ns := d.Int64()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uint32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// BytesField reads a length-prefixed byte slice. The result is copied so it
+// remains valid independently of the decoder's backing buffer.
+func (d *Decoder) BytesField() []byte {
+	n := d.Uint32()
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

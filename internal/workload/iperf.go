@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// UDPSink receives UDP datagrams and counts bytes, playing the role of the
+// Iperf server in the paper's network perturbation experiments.
+type UDPSink struct {
+	conn  *net.UDPConn
+	bytes atomic.Uint64
+	pkts  atomic.Uint64
+	done  chan struct{}
+}
+
+// NewUDPSink starts a sink on an ephemeral local port.
+func NewUDPSink() (*UDPSink, error) {
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("workload: udp sink: %w", err)
+	}
+	s := &UDPSink{conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			s.bytes.Add(uint64(n))
+			s.pkts.Add(1)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the sink's address for senders to target.
+func (s *UDPSink) Addr() string { return s.conn.LocalAddr().String() }
+
+// Bytes returns the total bytes received.
+func (s *UDPSink) Bytes() uint64 { return s.bytes.Load() }
+
+// Packets returns the total datagrams received.
+func (s *UDPSink) Packets() uint64 { return s.pkts.Load() }
+
+// Close shuts the sink down.
+func (s *UDPSink) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+// UDPGen sends UDP datagrams toward a sink at a target bit rate, the
+// equivalent of "iperf -u -b <rate>".
+type UDPGen struct {
+	stop chan struct{}
+	done chan struct{}
+	sent atomic.Uint64
+}
+
+// StartUDPGen begins sending packetSize-byte datagrams to addr at
+// targetBps, paced in 10 ms bursts.
+func StartUDPGen(addr string, targetBps float64, packetSize int) (*UDPGen, error) {
+	if packetSize <= 0 || packetSize > 65000 {
+		packetSize = 1400
+	}
+	if targetBps <= 0 {
+		return nil, fmt.Errorf("workload: target rate must be positive")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	g := &UDPGen{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(g.done)
+		defer conn.Close()
+		payload := make([]byte, packetSize)
+		const tick = 10 * time.Millisecond
+		bytesPerTick := targetBps / 8 * tick.Seconds()
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		carry := 0.0
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-ticker.C:
+				carry += bytesPerTick
+				for carry >= float64(packetSize) {
+					if _, err := conn.Write(payload); err != nil {
+						return
+					}
+					g.sent.Add(uint64(packetSize))
+					carry -= float64(packetSize)
+				}
+			}
+		}
+	}()
+	return g, nil
+}
+
+// BytesSent returns the total bytes emitted so far.
+func (g *UDPGen) BytesSent() uint64 { return g.sent.Load() }
+
+// Stop halts the generator and waits for its goroutine.
+func (g *UDPGen) Stop() {
+	close(g.stop)
+	<-g.done
+}
+
+// MeasureUDPThroughput runs a sender against a fresh sink for the given
+// duration and returns the achieved receive rate in bits/second — the
+// "available bandwidth" probe used by the Figure 5 network perturbation
+// analysis.
+func MeasureUDPThroughput(targetBps float64, duration time.Duration) (float64, error) {
+	sink, err := NewUDPSink()
+	if err != nil {
+		return 0, err
+	}
+	defer sink.Close()
+	gen, err := StartUDPGen(sink.Addr(), targetBps, 1400)
+	if err != nil {
+		return 0, err
+	}
+	time.Sleep(duration)
+	gen.Stop()
+	// Allow in-flight datagrams to land.
+	time.Sleep(20 * time.Millisecond)
+	return float64(sink.Bytes()) * 8 / duration.Seconds(), nil
+}

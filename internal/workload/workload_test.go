@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFlopsFormula(t *testing.T) {
+	// 2/3 n^3 + 2 n^2 at n=100: 666666.67 + 20000
+	got := Flops(100)
+	want := 2.0/3.0*1e6 + 2e4
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("Flops(100) = %g, want %g", got, want)
+	}
+}
+
+func TestLinpackSolvesAccurately(t *testing.T) {
+	res, err := Linpack(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 100 {
+		t.Fatalf("N = %d", res.N)
+	}
+	if res.Mflops <= 0 {
+		t.Fatalf("Mflops = %g", res.Mflops)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v", res.Elapsed)
+	}
+	// A healthy solve has a normalized residual of O(1); allow slack.
+	if res.Residual > 100 {
+		t.Fatalf("Residual = %g, solver is numerically wrong", res.Residual)
+	}
+}
+
+func TestLinpackDeterministicProblem(t *testing.T) {
+	r1, err := Linpack(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Linpack(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same matrix → same residual (timing differs).
+	if r1.Residual != r2.Residual {
+		t.Fatalf("residuals differ for identical problems: %g vs %g", r1.Residual, r2.Residual)
+	}
+}
+
+func TestLinpackSizeValidation(t *testing.T) {
+	if _, err := Linpack(1, 0); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+	if _, err := Linpack(0, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestLinpackVariousSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 64} {
+		res, err := Linpack(n, int64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Residual > 1000 {
+			t.Fatalf("n=%d: residual %g", n, res.Residual)
+		}
+	}
+}
+
+func TestLUFactorSingularMatrix(t *testing.T) {
+	n := 3
+	a := make([]float64, n*n) // all zeros: singular
+	if _, err := luFactor(a, n); err == nil {
+		t.Fatal("singular matrix factored without error")
+	}
+}
+
+func TestLUKnownSystem(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [3,5] → x = [0.8, 1.4]
+	a := []float64{2, 1, 1, 3}
+	piv, err := luFactor(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{3, 5}
+	luSolve(a, 2, piv, x)
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Fatalf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSpinnerRunsAndStops(t *testing.T) {
+	s := StartSpinner(32)
+	time.Sleep(50 * time.Millisecond)
+	s.Stop()
+	if s.Iterations == 0 {
+		t.Fatal("spinner completed no iterations in 50ms at n=32")
+	}
+}
+
+func TestUDPSinkAndGen(t *testing.T) {
+	sink, err := NewUDPSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	gen, err := StartUDPGen(sink.Addr(), 8e6, 1000) // 8 Mbps = 1 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	gen.Stop()
+	time.Sleep(30 * time.Millisecond)
+	if sink.Packets() == 0 {
+		t.Fatal("sink received no packets")
+	}
+	// Loopback should deliver nearly everything: expect at least half the
+	// target volume (pacing granularity and scheduling slack allowed).
+	want := uint64(8e6 / 8 * 0.2) // bytes in 200 ms at target rate
+	if sink.Bytes() < want/2 {
+		t.Fatalf("sink received %d bytes, want >= %d", sink.Bytes(), want/2)
+	}
+	if gen.BytesSent() < sink.Bytes() {
+		t.Fatalf("sent %d < received %d", gen.BytesSent(), sink.Bytes())
+	}
+}
+
+func TestUDPGenValidation(t *testing.T) {
+	if _, err := StartUDPGen("127.0.0.1:9", 0, 1000); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := StartUDPGen("not an address", 1e6, 1000); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestUDPGenPacketSizeDefaulting(t *testing.T) {
+	sink, err := NewUDPSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	gen, err := StartUDPGen(sink.Addr(), 1e6, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	gen.Stop()
+}
+
+func TestMeasureUDPThroughput(t *testing.T) {
+	bps, err := MeasureUDPThroughput(4e6, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps <= 0 {
+		t.Fatalf("throughput = %g", bps)
+	}
+	// Should be within a generous factor of the 4 Mbps target on loopback.
+	if bps < 1e6 || bps > 16e6 {
+		t.Logf("throughput %g bps outside expected band (loopback jitter)", bps)
+	}
+}
