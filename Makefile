@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet check figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under the
+# race detector (the fault-injection tests exercise concurrent heal paths,
+# so -race is not optional here).
+check: vet race
+
+figures:
+	$(GO) run ./cmd/figures

@@ -22,6 +22,7 @@ import (
 	"dproc/internal/clock"
 	"dproc/internal/core"
 	"dproc/internal/dmon"
+	"dproc/internal/kecho"
 	"dproc/internal/simres"
 )
 
@@ -36,6 +37,10 @@ func main() {
 		simLoad = flag.Float64("load", 0, "simulated base CPU load (with -sim)")
 		battery = flag.Float64("battery", 0, "battery capacity in Wh; >0 registers the POWER_MON module (with -sim)")
 		noJoin  = flag.Bool("standalone", false, "do not join a cluster (local monitoring only)")
+
+		writeDeadline = flag.Duration("write-deadline", 5*time.Second, "per-peer send deadline (<0 disables)")
+		reconnect     = flag.Duration("reconnect", 250*time.Millisecond, "base interval of the mesh reconnect supervisor")
+		noHeal        = flag.Bool("no-heal", false, "disable the reconnect supervisor and registry heartbeats")
 	)
 	flag.Parse()
 
@@ -43,6 +48,11 @@ func main() {
 		Name:    *name,
 		Clock:   clock.NewReal(),
 		Padding: *padding,
+		ChannelOptions: &kecho.Options{
+			WriteDeadline:     *writeDeadline,
+			ReconnectInterval: *reconnect,
+			DisableReconnect:  *noHeal,
+		},
 	}
 	if !*noJoin {
 		cfg.RegistryAddr = *regAddr
@@ -70,8 +80,14 @@ func main() {
 	fmt.Printf("dprocd %q polling every %v", *name, *period)
 	if cfg.RegistryAddr != "" {
 		fmt.Printf(", registry %s", cfg.RegistryAddr)
+		if *noHeal {
+			fmt.Printf(" (self-healing off)")
+		} else {
+			fmt.Printf(" (heartbeat/heal every %v)", *reconnect)
+		}
 	}
 	fmt.Println()
+	fmt.Printf("health counters at cluster/%s/health (via dprocctl)\n", *name)
 
 	if *admin != "" {
 		srv, err := adminproto.NewServer(node, *admin)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	kregistry -listen 127.0.0.1:7420
+//	kregistry -listen 127.0.0.1:7420 -ttl 5s   # age out crashed members
 package main
 
 import (
@@ -20,21 +21,27 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7420", "address to listen on")
+	ttl := flag.Duration("ttl", 0, "member TTL: entries with no join/heartbeat for this long expire (0 disables)")
 	flag.Parse()
 
-	srv, err := registry.NewServer(*listen)
+	srv, err := registry.NewServerWith(*listen, registry.ServerOptions{TTL: *ttl})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("kregistry listening on %s\n", srv.Addr())
+	if *ttl > 0 {
+		fmt.Printf("kregistry listening on %s (member TTL %v)\n", srv.Addr(), *ttl)
+	} else {
+		fmt.Printf("kregistry listening on %s (member expiry disabled)\n", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	fmt.Printf("shutting down (%d members expired over this run)\n", srv.ExpiredMembers())
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
+

@@ -43,8 +43,8 @@ func TestListRootAndNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != int(metrics.NumIDs)+2 { // metrics + control + config
-		t.Fatalf("files = %d, want %d", len(files), int(metrics.NumIDs)+2)
+	if len(files) != int(metrics.NumIDs)+3 { // metrics + control + config + health
+		t.Fatalf("files = %d, want %d", len(files), int(metrics.NumIDs)+3)
 	}
 }
 

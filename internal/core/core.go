@@ -80,13 +80,22 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.d.SetPadding(cfg.Padding)
 	if cfg.RegistryAddr != "" {
+		// The channels inherit the node clock (unless overridden) so the
+		// reconnect supervisor paces itself on virtual time in simulations.
+		var chOpts kecho.Options
+		if cfg.ChannelOptions != nil {
+			chOpts = *cfg.ChannelOptions
+		}
+		if chOpts.Clock == nil {
+			chOpts.Clock = clk
+		}
 		n.regCli = registry.NewClient(cfg.RegistryAddr)
-		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, cfg.ChannelOptions)
+		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, &chOpts)
 		if err != nil {
 			n.regCli.Close()
 			return nil, fmt.Errorf("core: joining monitoring channel: %w", err)
 		}
-		ctl, err := kecho.Join(n.regCli, dmon.ControlChannel, cfg.Name, cfg.ChannelOptions)
+		ctl, err := kecho.Join(n.regCli, dmon.ControlChannel, cfg.Name, &chOpts)
 		if err != nil {
 			mon.Close()
 			n.regCli.Close()
@@ -132,6 +141,32 @@ func (n *Node) buildSelfTree(src dmon.Source) {
 	_ = n.fs.Create(base+"/config", func() (string, error) {
 		return n.d.ConfigText(), nil
 	}, nil)
+	// health exposes the transport's self-healing counters: peer counts,
+	// reconnects, deadline drops, registry heartbeats and rejoins.
+	_ = n.fs.Create(base+"/health", func() (string, error) {
+		h := n.Health()
+		return h.Render(), nil
+	}, nil)
+}
+
+// Health snapshots the node's self-healing state: per-channel reconnect and
+// deadline counters plus the registry client's retry/heartbeat counters.
+func (n *Node) Health() metrics.Health {
+	h := metrics.Health{
+		Node:     n.name,
+		Channels: n.d.ChannelHealth(),
+	}
+	if n.regCli != nil {
+		s := n.regCli.Stats()
+		h.Registry = metrics.RegistryHealth{
+			Dials:      s.Dials,
+			Redials:    s.Redials,
+			Retries:    s.Retries,
+			Heartbeats: s.Heartbeats,
+			Rejoins:    s.Rejoins,
+		}
+	}
+	return h
 }
 
 // trackRemote ensures VFS entries exist for a remote node.

@@ -32,8 +32,8 @@ func TestStandaloneNodeLocalTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != int(metrics.NumIDs)+2 { // +control +config
-		t.Fatalf("entries = %d, want %d", len(entries), int(metrics.NumIDs)+2)
+	if len(entries) != int(metrics.NumIDs)+3 { // +control +config +health
+		t.Fatalf("entries = %d, want %d", len(entries), int(metrics.NumIDs)+3)
 	}
 	got, err := n.FS().ReadFile("cluster/alan/loadavg")
 	if err != nil {
@@ -372,5 +372,57 @@ func TestFormatMetric(t *testing.T) {
 	}
 	if got := formatMetric(metrics.NETRTT, 0.000123); got != "0.000123\n" {
 		t.Fatalf("netrtt format = %q", got)
+	}
+}
+
+func TestHealthFileExposesSelfHealingCounters(t *testing.T) {
+	c, err := NewSimCluster(2, clock.NewReal(), 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Nodes[0].MonitoringChannel().WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	content, err := c.Nodes[0].FS().ReadFile("cluster/node0/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"node node0",
+		"channel dproc.monitoring peers 1",
+		"channel dproc.monitoring reconnects",
+		"channel dproc.monitoring deadline_drops",
+		"registry dials",
+		"registry heartbeats",
+	} {
+		if !strings.Contains(content, want) {
+			t.Fatalf("health file missing %q:\n%s", want, content)
+		}
+	}
+	h := c.Nodes[0].Health()
+	if h.Registry.Dials < 1 {
+		t.Fatalf("Registry.Dials = %d, want >= 1", h.Registry.Dials)
+	}
+	if len(h.Channels) != 2 {
+		t.Fatalf("Channels = %d, want monitoring + control", len(h.Channels))
+	}
+}
+
+func TestStandaloneHealthFileHasNoChannels(t *testing.T) {
+	n, err := NewNode(Config{Name: "solo", Clock: clock.NewReal(), Source: simres.NewHost("solo", clock.NewReal(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	content, err := n.FS().ReadFile("cluster/solo/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(content, "node solo") {
+		t.Fatalf("health file = %q", content)
+	}
+	if strings.Contains(content, "channel ") {
+		t.Fatalf("standalone health file lists channels:\n%s", content)
 	}
 }

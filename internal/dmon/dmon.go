@@ -592,6 +592,33 @@ func (d *DMon) Attach(mon, ctl *kecho.Channel) {
 	}
 }
 
+// ChannelHealth snapshots the liveness counters of the attached channels,
+// in attach order (monitoring first). Standalone d-mons return nil.
+func (d *DMon) ChannelHealth() []metrics.ChannelHealth {
+	d.mu.Lock()
+	mon, ctl := d.monCh, d.ctlCh
+	d.mu.Unlock()
+	var out []metrics.ChannelHealth
+	for _, ch := range []*kecho.Channel{mon, ctl} {
+		if ch == nil {
+			continue
+		}
+		s := ch.Stats()
+		out = append(out, metrics.ChannelHealth{
+			Name:          ch.Name(),
+			Peers:         len(ch.Peers()),
+			EventsSent:    s.EventsSent,
+			EventsRecv:    s.EventsRecv,
+			Dropped:       s.Dropped,
+			JoinSkips:     s.JoinSkips,
+			Redials:       s.Redials,
+			Reconnects:    s.Reconnects,
+			DeadlineDrops: s.DeadlineDrops,
+		})
+	}
+	return out
+}
+
 // PollChannels drains both channels' inboxes, dispatching handlers. Returns
 // the number of events handled. This is the receive half of d-mon's
 // per-second poll loop.

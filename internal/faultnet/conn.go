@@ -1,0 +1,202 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// stallPollInterval is how often a stalled Read/Write rechecks the fault
+// plan and its deadline. Coarse enough to stay cheap, fine enough that
+// deadline-bounded tests finish promptly.
+const stallPollInterval = time.Millisecond
+
+// Conn is a fabric-wrapped connection. local is always known; remote is the
+// destination host for dialed connections and "" for accepted ones.
+type Conn struct {
+	net.Conn
+	fabric *Fabric
+	local  string
+	remote string
+
+	mu sync.Mutex
+	// framesLeft counts down a KillAfterFrames budget on writes.
+	hasBudget     bool
+	framesLeft    int
+	killed        bool
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func newConn(f *Fabric, nc net.Conn, local, remote string) *Conn {
+	c := &Conn{Conn: nc, fabric: f, local: local, remote: remote}
+	f.mu.Lock()
+	f.conns[c] = struct{}{}
+	f.mu.Unlock()
+	return c
+}
+
+// timeoutError mirrors the net package's deadline error: Timeout() is true
+// so callers can distinguish a stalled peer from a dead one.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+type killedError struct{}
+
+func (killedError) Error() string   { return "faultnet: connection killed" }
+func (killedError) Timeout() bool   { return false }
+func (killedError) Temporary() bool { return false }
+
+// kill severs the connection from the fabric side, counting it.
+func (c *Conn) kill() {
+	c.mu.Lock()
+	already := c.killed
+	c.killed = true
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.fabric.mu.Lock()
+	c.fabric.connsKilled++
+	delete(c.fabric.conns, c)
+	c.fabric.mu.Unlock()
+	// Closing the real socket resets the TCP pair, so the remote side's
+	// blocked reads fail too.
+	c.Conn.Close()
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+	c.fabric.mu.Lock()
+	delete(c.fabric.conns, c)
+	c.fabric.mu.Unlock()
+	return c.Conn.Close()
+}
+
+func (c *Conn) isKilled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// SetDeadline implements net.Conn, tracking deadlines locally so stall
+// waits honour them.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// waitWhileStalled blocks while stalled() holds, returning a timeout error
+// if the relevant deadline passes first and a killed error if the
+// connection is severed while waiting.
+func (c *Conn) waitWhileStalled(stalled func() bool, deadline func() time.Time) error {
+	for stalled() {
+		if c.isKilled() {
+			return killedError{}
+		}
+		if d := deadline(); !d.IsZero() && time.Now().After(d) {
+			return timeoutError{}
+		}
+		time.Sleep(stallPollInterval)
+	}
+	return nil
+}
+
+// Read implements net.Conn, applying read stalls for the local host.
+func (c *Conn) Read(b []byte) (int, error) {
+	f := c.fabric
+	err := c.waitWhileStalled(func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.rstall[c.local]
+	}, func() time.Time {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.readDeadline
+	})
+	if err != nil {
+		return 0, err
+	}
+	if c.isKilled() {
+		return 0, killedError{}
+	}
+	return c.Conn.Read(b)
+}
+
+// Write implements net.Conn, applying partitions, write stalls, added
+// latency, and kill-after-frames budgets for the destination host.
+func (c *Conn) Write(b []byte) (int, error) {
+	f := c.fabric
+	f.mu.Lock()
+	cut := c.remote != "" && f.cutLocked(c.local, c.remote)
+	f.mu.Unlock()
+	if cut {
+		c.kill()
+		return 0, killedError{}
+	}
+	err := c.waitWhileStalled(func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return c.remote != "" && f.wstall[c.remote]
+	}, func() time.Time {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.writeDeadline
+	})
+	if err != nil {
+		return 0, err
+	}
+	if c.isKilled() {
+		return 0, killedError{}
+	}
+	if c.remote != "" {
+		f.mu.Lock()
+		lr, ok := f.latency[c.remote]
+		var delay time.Duration
+		if ok {
+			delay = lr.min
+			if lr.max > lr.min {
+				delay += time.Duration(f.rng.Int63n(int64(lr.max - lr.min + 1)))
+			}
+		}
+		f.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	c.mu.Lock()
+	exhausted := c.hasBudget && c.framesLeft <= 0
+	if c.hasBudget && !exhausted {
+		c.framesLeft--
+	}
+	c.mu.Unlock()
+	if exhausted {
+		c.kill()
+		return 0, killedError{}
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,278 @@
+package kecho
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dproc/internal/faultnet"
+	"dproc/internal/registry"
+)
+
+// fastHeal returns options that run the reconnect supervisor quickly enough
+// for tests while keeping jitter seeded and deterministic.
+func fastHeal(seed int64) *Options {
+	return &Options{
+		ReconnectInterval: 10 * time.Millisecond,
+		ReconnectMax:      50 * time.Millisecond,
+		Seed:              seed,
+	}
+}
+
+// joinFault joins a channel whose mesh and registry traffic both run through
+// the fabric host named after the member.
+func joinFault(t *testing.T, f *faultnet.Fabric, regAddr, channel, id string, opts *Options) (*Channel, *registry.Client) {
+	t.Helper()
+	client := registry.NewClient(regAddr)
+	client.SetTransport(f.Host(id))
+	t.Cleanup(func() { client.Close() })
+	if opts == nil {
+		opts = &Options{}
+	}
+	opts.Transport = f.Host(id)
+	c, err := Join(client, channel, id, opts)
+	if err != nil {
+		t.Fatalf("Join(%s, %s): %v", channel, id, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, client
+}
+
+// TestMeshSelfHealsAfterConnKill is the headline acceptance scenario: a live
+// peer connection is killed through the fault fabric and, with no manual
+// RefreshPeers call, the supervisor re-forms the mesh and a subsequent
+// Submit reaches the recovered peer.
+func TestMeshSelfHealsAfterConnKill(t *testing.T) {
+	f := faultnet.NewFabric(7)
+	reg := newRegistry(t)
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", fastHeal(1))
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", fastHeal(2))
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+	if _, err := a.Submit([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvents(t, b, &got, 1)
+
+	if n := f.Sever("alan", "maui"); n < 1 {
+		t.Fatalf("Sever killed %d conns, want >= 1", n)
+	}
+
+	// No RefreshPeers here: the supervisor alone must notice the dead
+	// connection and heal the mesh, then deliver a fresh event.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh did not self-heal: a peers=%v reconnects=%d",
+				a.Peers(), a.Stats().Reconnects+b.Stats().Reconnects)
+		}
+		if _, err := a.Submit([]byte("after")); err == nil {
+			b.Poll()
+			if got.Load() >= 2 {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r := a.Stats().Reconnects + b.Stats().Reconnects; r < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", r)
+	}
+}
+
+// TestSubmitWriteDeadlineUnblocksHealthyPeers proves the head-of-line fix: a
+// stalled peer costs at most the write deadline and is dropped, while the
+// remaining peers still receive the event.
+func TestSubmitWriteDeadlineUnblocksHealthyPeers(t *testing.T) {
+	f := faultnet.NewFabric(3)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 40 * time.Millisecond, DisableReconnect: true}
+	}
+	// The stalled and healthy receivers join first so the publisher dials
+	// them (fault attribution rides on the dial-side wrapper).
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	c, _ := joinFault(t, f, reg.Addr(), "mon", "hilo", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(2, 2*time.Second) || !b.WaitForPeers(2, 2*time.Second) || !c.WaitForPeers(2, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var gotC atomic.Int64
+	c.Subscribe(func(Event) { gotC.Add(1) })
+
+	f.StallWrites("maui", true)
+	start := time.Now()
+	n, err := a.Submit([]byte("head-of-line"))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Submit reached %d peers, want 1 (healthy peer only)", n)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Submit blocked %v on the stalled peer", elapsed)
+	}
+	if d := a.Stats().DeadlineDrops; d < 1 {
+		t.Fatalf("DeadlineDrops = %d, want >= 1", d)
+	}
+	waitForEvents(t, c, &gotC, 1)
+}
+
+// TestPartitionHealRoundTrip cuts the fabric into two groups, observes the
+// mesh fail, heals the cut, and observes delivery resume without manual
+// intervention.
+func TestPartitionHealRoundTrip(t *testing.T) {
+	f := faultnet.NewFabric(11)
+	f.SetGroup("alan", "west")
+	f.SetGroup("maui", "east")
+	reg := newRegistry(t)
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", fastHeal(3))
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", fastHeal(4))
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+	if _, err := a.Submit([]byte("pre-partition")); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvents(t, b, &got, 1)
+
+	if n := f.Partition("west", "east"); n < 1 {
+		t.Fatalf("Partition killed %d conns, want >= 1", n)
+	}
+	// The dead connections are noticed and removed; redials across the cut
+	// are refused, so the peer set drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.Peers()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned peer still listed: %v", a.Peers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	f.Heal()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh did not re-form after Heal: a peers=%v", a.Peers())
+		}
+		if _, err := a.Submit([]byte("post-heal")); err == nil {
+			b.Poll()
+			if got.Load() >= 2 {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJoinSkipsUnreachablePeer: one registered member is unreachable; Join
+// must still succeed, connect the reachable peers, and count the skip.
+func TestJoinSkipsUnreachablePeer(t *testing.T) {
+	f := faultnet.NewFabric(1)
+	reg := newRegistry(t)
+
+	// "ghost" registers an address the fabric then refuses — a member that
+	// crashed between registering and being dialed.
+	ghostLn, err := f.Host("ghost").Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ghostLn.Close()
+	rc := registry.NewClient(reg.Addr())
+	defer rc.Close()
+	if _, err := rc.Join("mon", "ghost", ghostLn.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	f.Refuse("ghost")
+
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", &Options{DisableReconnect: true})
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", &Options{DisableReconnect: true})
+	if s := a.Stats().JoinSkips; s < 1 {
+		t.Fatalf("JoinSkips = %d, want >= 1", s)
+	}
+	// The reachable peer is connected and delivery works.
+	if !a.WaitForPeers(1, 2*time.Second) {
+		t.Fatalf("alan peers = %v, want maui", a.Peers())
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+	if _, err := a.Submit([]byte("partial join ok")); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvents(t, b, &got, 1)
+}
+
+// TestRegistryRestartMembersReRegister restarts the registry on the same
+// address and shows the channels' heartbeats transparently re-register both
+// members, with Lookup converging and rejoin counters visible.
+func TestRegistryRestartMembersReRegister(t *testing.T) {
+	f := faultnet.NewFabric(5)
+	srv, err := registry.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	a, ra := joinFault(t, f, addr, "mon", "alan", fastHeal(5))
+	b, _ := joinFault(t, f, addr, "mon", "maui", fastHeal(6))
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind the same address; retry briefly in case the port is slow to free.
+	var srv2 *registry.Server
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv2, err = registry.NewServer(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	// The fresh registry knows nothing; heartbeats must rebuild its view.
+	deadline = time.Now().Add(5 * time.Second)
+	for srv2.MemberCount("mon") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("members re-registered = %d, want 2", srv2.MemberCount("mon"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Lookup through a fresh client converges on both members.
+	nc := registry.NewClient(addr)
+	defer nc.Close()
+	members, err := nc.Lookup("mon")
+	if err != nil || len(members) != 2 {
+		t.Fatalf("Lookup = %d members, %v; want 2", len(members), err)
+	}
+	// The rejoin is visible in the client's counters.
+	if s := ra.Stats(); s.Rejoins < 1 || s.Heartbeats < 1 {
+		t.Fatalf("stats = %+v, want rejoins and heartbeats >= 1", s)
+	}
+	// And the mesh still delivers.
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+	sent := false
+	deadline = time.Now().Add(5 * time.Second)
+	for !sent || got.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after registry restart")
+		}
+		if n, err := a.Submit([]byte("post-restart")); err == nil && n >= 1 {
+			sent = true
+		}
+		b.Poll()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

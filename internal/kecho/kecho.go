@@ -10,20 +10,47 @@
 // d-mon's one-second polling of its listening sockets. Immediate dispatch
 // (handler runs on the receiving goroutine) is available for the
 // poll-versus-immediate ablation.
+//
+// The channel is self-healing: joins tolerate unreachable peers, every send
+// is bounded by a write deadline so one stalled subscriber cannot block the
+// rest of the fan-out, and a per-channel reconnect supervisor heartbeats the
+// registry and re-dials missing peers with exponential backoff and jitter,
+// so the mesh converges again after peer crashes, partitions, or a registry
+// restart without any manual RefreshPeers call.
 package kecho
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dproc/internal/clock"
 	"dproc/internal/registry"
 	"dproc/internal/wire"
 )
+
+// Transport supplies the listen/dial primitives the channel uses, so tests
+// can route peer traffic through a fault-injection layer (internal/faultnet).
+type Transport interface {
+	Listen(network, address string) (net.Listener, error)
+	DialTimeout(network, address string, timeout time.Duration) (net.Conn, error)
+}
+
+// tcpTransport is the default plain-TCP transport.
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(network, address string) (net.Listener, error) {
+	return net.Listen(network, address)
+}
+
+func (tcpTransport) DialTimeout(network, address string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout(network, address, timeout)
+}
 
 // Frame types on peer connections.
 const (
@@ -66,26 +93,68 @@ type Stats struct {
 	BytesRecv  uint64
 	// Dropped counts events discarded because the inbox was full.
 	Dropped uint64
+	// JoinSkips counts registered peers that were unreachable at Join time
+	// and left for the reconnect supervisor to retry.
+	JoinSkips uint64
+	// Redials counts peer dial attempts made by the reconnect supervisor.
+	Redials uint64
+	// Reconnects counts peer connections the supervisor re-established.
+	Reconnects uint64
+	// DeadlineDrops counts sends aborted because the peer did not accept the
+	// frame within the write deadline (slow or wedged subscriber).
+	DeadlineDrops uint64
 }
 
 // Options tunes channel behaviour; the zero value gives a polled channel
-// with the default inbox size.
+// with the default inbox size and self-healing enabled.
 type Options struct {
 	// Dispatch selects polled (default) or immediate handler dispatch.
 	Dispatch DispatchMode
 	// InboxSize bounds the polled-event queue; 0 means 4096.
 	InboxSize int
+	// Transport provides listen/dial; nil uses plain TCP.
+	Transport Transport
+	// DialTimeout bounds each peer dial; 0 means 2s.
+	DialTimeout time.Duration
+	// WriteDeadline bounds each frame write to a peer, so one stalled peer
+	// cannot head-of-line-block the fan-out; 0 means 5s, negative disables.
+	WriteDeadline time.Duration
+	// ReconnectInterval is the supervisor's base pace for heartbeating the
+	// registry and re-dialing missing peers; 0 means 250ms.
+	ReconnectInterval time.Duration
+	// ReconnectMax caps the supervisor's exponential backoff; 0 means 5s.
+	ReconnectMax time.Duration
+	// DisableReconnect turns the supervisor off (no heartbeats, no healing).
+	DisableReconnect bool
+	// Clock drives supervisor timers; nil uses the real clock.
+	Clock clock.Clock
+	// Seed feeds the supervisor's backoff jitter; 0 derives one from the
+	// member ID so distinct members desynchronize deterministically.
+	Seed int64
 }
 
-const defaultInboxSize = 4096
+// Option defaults; see Options.
+const (
+	defaultInboxSize         = 4096
+	defaultDialTimeout       = 2 * time.Second
+	defaultWriteDeadline     = 5 * time.Second
+	defaultReconnectInterval = 250 * time.Millisecond
+	defaultReconnectMax      = 5 * time.Second
+)
 
 // Channel is one member's handle on a named event channel.
 type Channel struct {
-	name string
-	id   string
-	reg  *registry.Client
-	ln   net.Listener
-	opts Options
+	name      string
+	id        string
+	reg       *registry.Client
+	ln        net.Listener
+	opts      Options
+	transport Transport
+	clk       clock.Clock
+
+	// Resolved option values (defaults applied).
+	dialTimeout   time.Duration
+	writeDeadline time.Duration
 
 	mu       sync.Mutex
 	peers    map[string]*peer
@@ -94,12 +163,17 @@ type Channel struct {
 
 	inbox chan Event
 	seq   atomic.Uint64
+	stop  chan struct{}
 
-	eventsSent atomic.Uint64
-	eventsRecv atomic.Uint64
-	bytesSent  atomic.Uint64
-	bytesRecv  atomic.Uint64
-	dropped    atomic.Uint64
+	eventsSent    atomic.Uint64
+	eventsRecv    atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	dropped       atomic.Uint64
+	joinSkips     atomic.Uint64
+	redials       atomic.Uint64
+	reconnects    atomic.Uint64
+	deadlineDrops atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -110,15 +184,32 @@ type peer struct {
 	wmu  sync.Mutex
 }
 
-func (p *peer) send(typ uint8, payload []byte) error {
+// send writes one frame to the peer, bounded by deadline (<= 0 disables).
+func (p *peer) send(typ uint8, payload []byte, deadline time.Duration) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
+	if deadline > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(deadline))
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
 	return wire.WriteFrame(p.conn, typ, payload)
+}
+
+// isTimeout reports whether err is a deadline expiry rather than a dead
+// connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Join creates this member's endpoint for the named channel, registers with
 // the registry, and connects to every existing member. memberID must be
 // unique within the channel (dproc uses the node name).
+//
+// The join is tolerant of unreachable peers: a registered member that cannot
+// be dialed is skipped (counted in Stats.JoinSkips) and retried by the
+// reconnect supervisor, rather than aborting the whole join — on a cluster
+// with a crashed node, the survivors must still be able to join.
 func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*Channel, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -127,18 +218,37 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	if inboxSize == 0 {
 		inboxSize = defaultInboxSize
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	transport := opts.Transport
+	if transport == nil {
+		transport = tcpTransport{}
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	ln, err := transport.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("kecho: listen: %w", err)
 	}
 	c := &Channel{
-		name:  channelName,
-		id:    memberID,
-		reg:   reg,
-		ln:    ln,
-		opts:  *opts,
-		peers: make(map[string]*peer),
-		inbox: make(chan Event, inboxSize),
+		name:          channelName,
+		id:            memberID,
+		reg:           reg,
+		ln:            ln,
+		opts:          *opts,
+		transport:     transport,
+		clk:           clk,
+		dialTimeout:   opts.DialTimeout,
+		writeDeadline: opts.WriteDeadline,
+		peers:         make(map[string]*peer),
+		inbox:         make(chan Event, inboxSize),
+		stop:          make(chan struct{}),
+	}
+	if c.dialTimeout == 0 {
+		c.dialTimeout = defaultDialTimeout
+	}
+	if c.writeDeadline == 0 {
+		c.writeDeadline = defaultWriteDeadline
 	}
 	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
 	if err != nil {
@@ -147,12 +257,16 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	}
 	for _, m := range peers {
 		if err := c.dialPeer(m); err != nil {
-			c.Close()
-			return nil, fmt.Errorf("kecho: connecting to peer %s: %w", m.ID, err)
+			c.joinSkips.Add(1)
+			continue
 		}
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
+	if !opts.DisableReconnect {
+		c.wg.Add(1)
+		go c.supervise()
+	}
 	return c, nil
 }
 
@@ -189,16 +303,20 @@ func (c *Channel) Subscribe(h Handler) {
 // Stats returns a snapshot of traffic counters.
 func (c *Channel) Stats() Stats {
 	return Stats{
-		EventsSent: c.eventsSent.Load(),
-		EventsRecv: c.eventsRecv.Load(),
-		BytesSent:  c.bytesSent.Load(),
-		BytesRecv:  c.bytesRecv.Load(),
-		Dropped:    c.dropped.Load(),
+		EventsSent:    c.eventsSent.Load(),
+		EventsRecv:    c.eventsRecv.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesRecv:     c.bytesRecv.Load(),
+		Dropped:       c.dropped.Load(),
+		JoinSkips:     c.joinSkips.Load(),
+		Redials:       c.redials.Load(),
+		Reconnects:    c.reconnects.Load(),
+		DeadlineDrops: c.deadlineDrops.Load(),
 	}
 }
 
 func (c *Channel) dialPeer(m registry.Member) error {
-	conn, err := net.Dial("tcp", m.Addr)
+	conn, err := c.transport.DialTimeout("tcp", m.Addr, c.dialTimeout)
 	if err != nil {
 		return err
 	}
@@ -206,7 +324,7 @@ func (c *Channel) dialPeer(m registry.Member) error {
 	hello := wire.NewEncoder(64)
 	hello.String(c.name)
 	hello.String(c.id)
-	if err := p.send(frameHello, hello.Bytes()); err != nil {
+	if err := p.send(frameHello, hello.Bytes(), c.writeDeadline); err != nil {
 		conn.Close()
 		return err
 	}
@@ -339,8 +457,10 @@ func (c *Channel) encodeEvent(payload []byte) []byte {
 }
 
 // Submit publishes payload to every connected peer and returns how many
-// peers it was delivered to. Peers whose connection fails are dropped, as a
-// failed kernel socket would be.
+// peers it was delivered to. Each send is bounded by the write deadline, so
+// one peer with a full TCP buffer delays — never blocks — delivery to the
+// peers after it. Peers whose connection fails or whose deadline expires are
+// dropped (the reconnect supervisor will re-dial them if they come back).
 func (c *Channel) Submit(payload []byte) (int, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -355,7 +475,10 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 	frame := c.encodeEvent(payload)
 	sent := 0
 	for _, p := range peers {
-		if err := p.send(frameEvent, frame); err != nil {
+		if err := p.send(frameEvent, frame, c.writeDeadline); err != nil {
+			if isTimeout(err) {
+				c.deadlineDrops.Add(1)
+			}
 			c.removePeer(p)
 			continue
 		}
@@ -380,7 +503,10 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
 	frame := c.encodeEvent(payload)
-	if err := p.send(frameEvent, frame); err != nil {
+	if err := p.send(frameEvent, frame, c.writeDeadline); err != nil {
+		if isTimeout(err) {
+			c.deadlineDrops.Add(1)
+		}
 		c.removePeer(p)
 		return err
 	}
@@ -424,8 +550,108 @@ func (c *Channel) RefreshPeers() (int, error) {
 	return dialed, lastErr
 }
 
-// Close leaves the channel: deregisters from the registry, closes the
-// listener and all peer connections, and waits for goroutines to finish.
+// --- reconnect supervisor ---
+
+// sleepInterruptible waits for d on the channel clock, returning false if
+// the channel is closed first.
+func (c *Channel) sleepInterruptible(d time.Duration) bool {
+	fired := make(chan struct{})
+	t := c.clk.AfterFunc(d, func() { close(fired) })
+	select {
+	case <-fired:
+		return true
+	case <-c.stop:
+		t.Stop()
+		return false
+	}
+}
+
+// supervise is the self-healing loop: every interval it heartbeats the
+// registry (keeping this member alive and transparently re-registering
+// after a registry restart) and re-dials any registered member it is not
+// connected to. Failures back the loop off exponentially with jitter; a
+// clean round resets it to the base interval.
+func (c *Channel) supervise() {
+	defer c.wg.Done()
+	base := c.opts.ReconnectInterval
+	if base <= 0 {
+		base = defaultReconnectInterval
+	}
+	max := c.opts.ReconnectMax
+	if max <= 0 {
+		max = defaultReconnectMax
+	}
+	if max < base {
+		max = base
+	}
+	seed := c.opts.Seed
+	if seed == 0 {
+		for _, b := range []byte(c.name + "/" + c.id) {
+			seed = seed*131 + int64(b)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	backoff := base
+	for {
+		// Jitter desynchronizes members so a recovering registry or peer is
+		// not hit by the whole cluster in the same instant.
+		d := backoff + time.Duration(rng.Int63n(int64(backoff)/4+1))
+		if !c.sleepInterruptible(d) {
+			return
+		}
+		if c.superviseOnce() {
+			backoff = base
+		} else if backoff *= 2; backoff > max {
+			backoff = max
+		}
+	}
+}
+
+// superviseOnce performs one heartbeat + heal round, reporting whether it
+// completed without errors.
+func (c *Channel) superviseOnce() bool {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return true
+	}
+	healthy := true
+	if _, err := c.reg.Heartbeat(c.name, c.id, c.ln.Addr().String()); err != nil {
+		healthy = false
+	}
+	members, err := c.reg.Lookup(c.name)
+	if err != nil {
+		return false
+	}
+	for _, m := range members {
+		if m.ID == c.id {
+			continue
+		}
+		c.mu.Lock()
+		_, have := c.peers[m.ID]
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return true
+		}
+		if have {
+			continue
+		}
+		c.redials.Add(1)
+		if err := c.dialPeer(m); err != nil {
+			healthy = false
+			continue
+		}
+		c.reconnects.Add(1)
+	}
+	return healthy
+}
+
+// Close leaves the channel: stops the supervisor, closes the listener and
+// all peer connections, waits for goroutines to finish, and deregisters
+// from the registry last — so a racing supervisor round cannot re-register
+// a member that is going away.
 func (c *Channel) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -439,12 +665,13 @@ func (c *Channel) Close() error {
 	}
 	c.mu.Unlock()
 
-	_ = c.reg.Leave(c.name, c.id)
+	close(c.stop)
 	err := c.ln.Close()
 	for _, p := range peers {
 		p.conn.Close()
 	}
 	c.wg.Wait()
+	_ = c.reg.Leave(c.name, c.id)
 	return err
 }
 

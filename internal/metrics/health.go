@@ -1,0 +1,87 @@
+// Health counters: the degradation-visibility side of the fault model. The
+// transport stack (kecho channels, registry client) counts its recovery work
+// — reconnects, redials, expired members, deadline drops — and nodes surface
+// the aggregate through the /proc/cluster/<node>/health pseudo-file, so an
+// operator can cat one file and see how hard the mesh is working to stay
+// connected.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChannelHealth is one event channel's liveness snapshot.
+type ChannelHealth struct {
+	// Name is the channel name (e.g. dproc.monitoring).
+	Name string
+	// Peers is the number of currently connected peers.
+	Peers int
+	// EventsSent / EventsRecv / Dropped mirror the channel's traffic stats.
+	EventsSent uint64
+	EventsRecv uint64
+	Dropped    uint64
+	// JoinSkips counts peers that were unreachable at join time.
+	JoinSkips uint64
+	// Redials counts dial attempts made by the reconnect supervisor.
+	Redials uint64
+	// Reconnects counts peer connections the supervisor re-established.
+	Reconnects uint64
+	// DeadlineDrops counts sends aborted by the per-peer write deadline.
+	DeadlineDrops uint64
+}
+
+// RegistryHealth is the node's registry-client recovery snapshot.
+type RegistryHealth struct {
+	// Dials / Redials count connections established to the registry (total
+	// and beyond the first).
+	Dials   uint64
+	Redials uint64
+	// Retries counts request attempts beyond each request's first.
+	Retries uint64
+	// Heartbeats counts acknowledged keep-alives.
+	Heartbeats uint64
+	// Rejoins counts heartbeats that had to re-register a member, i.e.
+	// observed registry restarts or TTL expiries of this node.
+	Rejoins uint64
+}
+
+// Health is one node's full self-healing report.
+type Health struct {
+	Node     string
+	Channels []ChannelHealth
+	Registry RegistryHealth
+}
+
+// Render formats the health report in /proc style: one "key value" line per
+// counter, channel sections prefixed by the channel name.
+func (h *Health) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %s\n", h.Node)
+	for _, ch := range h.Channels {
+		fmt.Fprintf(&sb, "channel %s peers %d\n", ch.Name, ch.Peers)
+		fmt.Fprintf(&sb, "channel %s events_sent %d\n", ch.Name, ch.EventsSent)
+		fmt.Fprintf(&sb, "channel %s events_recv %d\n", ch.Name, ch.EventsRecv)
+		fmt.Fprintf(&sb, "channel %s dropped %d\n", ch.Name, ch.Dropped)
+		fmt.Fprintf(&sb, "channel %s join_skips %d\n", ch.Name, ch.JoinSkips)
+		fmt.Fprintf(&sb, "channel %s redials %d\n", ch.Name, ch.Redials)
+		fmt.Fprintf(&sb, "channel %s reconnects %d\n", ch.Name, ch.Reconnects)
+		fmt.Fprintf(&sb, "channel %s deadline_drops %d\n", ch.Name, ch.DeadlineDrops)
+	}
+	fmt.Fprintf(&sb, "registry dials %d\n", h.Registry.Dials)
+	fmt.Fprintf(&sb, "registry redials %d\n", h.Registry.Redials)
+	fmt.Fprintf(&sb, "registry retries %d\n", h.Registry.Retries)
+	fmt.Fprintf(&sb, "registry heartbeats %d\n", h.Registry.Heartbeats)
+	fmt.Fprintf(&sb, "registry rejoins %d\n", h.Registry.Rejoins)
+	return sb.String()
+}
+
+// TotalReconnects sums reconnects across all channels — the headline
+// "how often did the mesh have to heal" number.
+func (h *Health) TotalReconnects() uint64 {
+	var n uint64
+	for _, ch := range h.Channels {
+		n += ch.Reconnects
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthRender(t *testing.T) {
+	h := Health{
+		Node: "alan",
+		Channels: []ChannelHealth{
+			{Name: "dproc.monitoring", Peers: 2, Reconnects: 3, DeadlineDrops: 1},
+			{Name: "dproc.control", Peers: 2, Reconnects: 1},
+		},
+		Registry: RegistryHealth{Dials: 1, Heartbeats: 9, Rejoins: 2},
+	}
+	out := h.Render()
+	for _, want := range []string{
+		"node alan\n",
+		"channel dproc.monitoring peers 2\n",
+		"channel dproc.monitoring reconnects 3\n",
+		"channel dproc.monitoring deadline_drops 1\n",
+		"channel dproc.control reconnects 1\n",
+		"registry heartbeats 9\n",
+		"registry rejoins 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if got := h.TotalReconnects(); got != 4 {
+		t.Fatalf("TotalReconnects = %d, want 4", got)
+	}
+}

@@ -1,0 +1,161 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/wire"
+)
+
+func newTTLServer(t *testing.T, ttl time.Duration) (*Server, *clock.Virtual, *Client) {
+	t.Helper()
+	vclk := clock.NewVirtual(clock.Epoch)
+	s, err := NewServerWith("127.0.0.1:0", ServerOptions{Clock: vclk, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := NewClient(s.Addr())
+	t.Cleanup(func() { c.Close() })
+	return s, vclk, c
+}
+
+func TestTTLExpiresSilentMembers(t *testing.T) {
+	s, vclk, c := newTTLServer(t, time.Minute)
+	if _, err := c.Join("mon", "m1", "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join("mon", "m2", "127.0.0.1:9002"); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.MemberCount("mon"); n != 2 {
+		t.Fatalf("MemberCount = %d, want 2", n)
+	}
+	vclk.Advance(2 * time.Minute)
+	members, err := c.Lookup("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("Lookup after TTL = %v, want empty", members)
+	}
+	if n := s.ExpiredMembers(); n != 2 {
+		t.Fatalf("ExpiredMembers = %d, want 2", n)
+	}
+}
+
+func TestHeartbeatKeepsMemberAlive(t *testing.T) {
+	s, vclk, c := newTTLServer(t, time.Minute)
+	if _, err := c.Join("mon", "m1", "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	// Two 40s gaps each bridged by a heartbeat: total silence never reaches
+	// the 60s TTL, so the member survives 80s of wall time.
+	vclk.Advance(40 * time.Second)
+	rejoined, err := c.Heartbeat("mon", "m1", "127.0.0.1:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejoined {
+		t.Fatal("heartbeat of a live member reported a rejoin")
+	}
+	vclk.Advance(40 * time.Second)
+	members, err := c.Lookup("mon")
+	if err != nil || len(members) != 1 {
+		t.Fatalf("Lookup = %v, %v; want m1 alive", members, err)
+	}
+	if n := s.ExpiredMembers(); n != 0 {
+		t.Fatalf("ExpiredMembers = %d, want 0", n)
+	}
+}
+
+func TestHeartbeatResurrectsExpiredMember(t *testing.T) {
+	s, vclk, c := newTTLServer(t, time.Minute)
+	if _, err := c.Join("mon", "m1", "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	vclk.Advance(2 * time.Minute)
+	rejoined, err := c.Heartbeat("mon", "m1", "127.0.0.1:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rejoined {
+		t.Fatal("heartbeat after expiry did not re-register")
+	}
+	if n := s.MemberCount("mon"); n != 1 {
+		t.Fatalf("MemberCount = %d, want 1", n)
+	}
+	if got := c.Stats().Rejoins; got != 1 {
+		t.Fatalf("client Rejoins = %d, want 1", got)
+	}
+}
+
+func TestHeartbeatRejoinsAfterServerRestart(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c := NewClient(addr)
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.Join("mon", "m1", "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var s2 *Server
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s2, err = NewServer(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(func() { s2.Close() })
+
+	// The same client heartbeats through its retry path; the fresh server
+	// does not know the member, so the heartbeat re-registers it.
+	rejoined, err := c.Heartbeat("mon", "m1", "127.0.0.1:9001")
+	if err != nil {
+		t.Fatalf("Heartbeat after restart: %v", err)
+	}
+	if !rejoined {
+		t.Fatal("heartbeat against the fresh server did not re-register")
+	}
+	members, err := c.Lookup("mon")
+	if err != nil || len(members) != 1 || members[0].ID != "m1" {
+		t.Fatalf("Lookup = %v, %v; want m1", members, err)
+	}
+	st := c.Stats()
+	if st.Redials < 1 {
+		t.Fatalf("Redials = %d, want >= 1 (client had to re-dial)", st.Redials)
+	}
+	if st.Rejoins < 1 {
+		t.Fatalf("Rejoins = %d, want >= 1", st.Rejoins)
+	}
+}
+
+func TestDecodeMembersRejectsImplausibleCount(t *testing.T) {
+	// A frame claiming 2^31 members but carrying no entry bytes must be
+	// rejected before any allocation is sized from the count.
+	e := wire.NewEncoder(8)
+	e.Uint32(1 << 31)
+	if _, err := decodeMembers(e.Bytes()); err == nil {
+		t.Fatal("decodeMembers accepted an implausible count")
+	} else if !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("err = %v, want implausible-count error", err)
+	}
+	// A well-formed list still decodes.
+	good := encodeMembers([]Member{{ID: "m1", Addr: "127.0.0.1:9001"}})
+	members, err := decodeMembers(good)
+	if err != nil || len(members) != 1 || members[0].ID != "m1" {
+		t.Fatalf("decodeMembers(good) = %v, %v", members, err)
+	}
+}

@@ -4,15 +4,26 @@
 // the registry creates the monitoring and control channels; later nodes look
 // the channels up and join, learning the current member list so they can
 // establish direct peer-to-peer connections.
+//
+// The registry is failure-aware: members carry a last-seen timestamp
+// refreshed by heartbeats, and a server configured with a TTL ages crashed
+// members out of Lookup instead of advertising them forever. The client
+// retries requests with exponential backoff and, because heartbeats upsert
+// membership, transparently re-registers its members after a registry
+// restart.
 package registry
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"dproc/internal/clock"
 	"dproc/internal/wire"
 )
 
@@ -25,6 +36,7 @@ const (
 	msgList
 	msgOK
 	msgError
+	msgHeartbeat
 )
 
 // Member is one channel participant: a stable ID and the TCP address its
@@ -34,32 +46,82 @@ type Member struct {
 	Addr string
 }
 
+// memberEntry is a registered member plus its liveness bookkeeping.
+type memberEntry struct {
+	Member
+	lastSeen time.Time
+}
+
+// ServerOptions tunes the directory server; the zero value matches the
+// original always-trusting behaviour (members never expire).
+type ServerOptions struct {
+	// Clock is the time source for member liveness; nil uses the real clock.
+	// Tests use a virtual clock so expiry is deterministic.
+	Clock clock.Clock
+	// TTL ages out members whose last join or heartbeat is older than this;
+	// 0 disables expiry.
+	TTL time.Duration
+}
+
 // Server is the directory server. Zero value is not usable; construct with
-// NewServer.
+// NewServer or NewServerWith.
 type Server struct {
-	ln net.Listener
+	ln  net.Listener
+	clk clock.Clock
+	ttl time.Duration
+
+	expired atomic.Uint64
 
 	mu       sync.Mutex
-	channels map[string]map[string]Member // channel -> member id -> member
+	channels map[string]map[string]*memberEntry // channel -> member id -> entry
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// NewServer starts a registry server listening on addr (e.g. "127.0.0.1:0").
+// NewServer starts a registry server listening on addr (e.g. "127.0.0.1:0")
+// with member expiry disabled.
 func NewServer(addr string) (*Server, error) {
+	return NewServerWith(addr, ServerOptions{})
+}
+
+// NewServerWith starts a registry server with explicit liveness options.
+func NewServerWith(addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("registry: listen: %w", err)
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	s := &Server{
 		ln:       ln,
-		channels: make(map[string]map[string]Member),
+		clk:      clk,
+		ttl:      opts.TTL,
+		channels: make(map[string]map[string]*memberEntry),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// ExpiredMembers reports how many members have aged out since startup.
+func (s *Server) ExpiredMembers() uint64 { return s.expired.Load() }
+
+// expireLocked drops every member of ch whose last heartbeat is older than
+// the TTL. Caller holds s.mu.
+func (s *Server) expireLocked(ch map[string]*memberEntry, now time.Time) {
+	if s.ttl <= 0 {
+		return
+	}
+	for id, m := range ch {
+		if now.Sub(m.lastSeen) > s.ttl {
+			delete(ch, id)
+			s.expired.Add(1)
+		}
+	}
 }
 
 // Addr returns the address clients should dial.
@@ -99,10 +161,14 @@ func (s *Server) Channels() []string {
 	return out
 }
 
-// MemberCount returns the number of members in a channel (0 if absent).
+// MemberCount returns the number of live members in a channel (0 if absent).
 func (s *Server) MemberCount(channel string) int {
+	now := s.clk.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ch, ok := s.channels[channel]; ok {
+		s.expireLocked(ch, now)
+	}
 	return len(s.channels[channel])
 }
 
@@ -159,6 +225,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 	d := wire.NewDecoder(payload)
+	now := s.clk.Now()
 	switch typ {
 	case msgCreate:
 		name := d.String()
@@ -171,13 +238,13 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		s.mu.Lock()
 		_, existed := s.channels[name]
 		if !existed {
-			s.channels[name] = make(map[string]Member)
+			s.channels[name] = make(map[string]*memberEntry)
 		}
 		s.mu.Unlock()
 		e := wire.NewEncoder(8)
 		e.Bool(!existed)
 		return e.Bytes(), nil
-	case msgJoin:
+	case msgJoin, msgHeartbeat:
 		name := d.String()
 		id := d.String()
 		addr := d.String()
@@ -191,18 +258,29 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		ch, ok := s.channels[name]
 		if !ok {
 			// Auto-create on join: the paper's first-contact-creates rule.
-			ch = make(map[string]Member)
+			// Heartbeats create too, so a member's keep-alive doubles as its
+			// re-registration after a registry restart lost all state.
+			ch = make(map[string]*memberEntry)
 			s.channels[name] = ch
+		}
+		s.expireLocked(ch, now)
+		_, known := ch[id]
+		if typ == msgHeartbeat {
+			ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr}, lastSeen: now}
+			s.mu.Unlock()
+			e := wire.NewEncoder(8)
+			e.Bool(!known) // reports whether the heartbeat (re-)registered
+			return e.Bytes(), nil
 		}
 		// Snapshot the members present before this join; the joiner dials
 		// exactly these peers.
 		peers := make([]Member, 0, len(ch))
 		for _, m := range ch {
 			if m.ID != id {
-				peers = append(peers, m)
+				peers = append(peers, m.Member)
 			}
 		}
-		ch[id] = Member{ID: id, Addr: addr}
+		ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr}, lastSeen: now}
 		s.mu.Unlock()
 		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 		return encodeMembers(peers), nil
@@ -227,9 +305,10 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		ch, ok := s.channels[name]
 		var members []Member
 		if ok {
+			s.expireLocked(ch, now)
 			members = make([]Member, 0, len(ch))
 			for _, m := range ch {
-				members = append(members, m)
+				members = append(members, m.Member)
 			}
 		}
 		s.mu.Unlock()
@@ -263,11 +342,14 @@ func encodeMembers(members []Member) []byte {
 	return e.Bytes()
 }
 
+// decodeMembers parses a member list, bounding the declared count by what
+// the payload could plausibly hold (each member is at least two 4-byte
+// length prefixes) so a corrupt frame cannot drive a huge allocation.
 func decodeMembers(payload []byte) ([]Member, error) {
 	d := wire.NewDecoder(payload)
 	n := d.Uint32()
-	if int(n) > 1<<20 {
-		return nil, errors.New("registry: implausible member count")
+	if int64(n)*8 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("registry: implausible member count %d for %d payload bytes", n, d.Remaining())
 	}
 	out := make([]Member, n)
 	for i := range out {
@@ -279,18 +361,106 @@ func decodeMembers(payload []byte) ([]Member, error) {
 	return out, nil
 }
 
+// Transport supplies the client's dial primitive, so tests can route
+// registry traffic through a fault-injection layer. Nil means plain TCP.
+type Transport interface {
+	DialTimeout(network, address string, timeout time.Duration) (net.Conn, error)
+}
+
+// ClientStats counts a client's recovery work; all fields are cumulative.
+type ClientStats struct {
+	// Dials counts connections established to the server.
+	Dials uint64
+	// Redials counts connections re-established after the first.
+	Redials uint64
+	// Retries counts request attempts beyond each request's first.
+	Retries uint64
+	// Heartbeats counts heartbeat requests acknowledged by the server.
+	Heartbeats uint64
+	// Rejoins counts heartbeats that had to re-register the member (the
+	// server did not know it — typically after a registry restart).
+	Rejoins uint64
+}
+
 // Client talks to a registry server. It opens one connection lazily and
-// serializes requests on it; registry traffic is rare (joins and lookups),
-// so a single connection suffices.
+// serializes requests on it; registry traffic is rare (joins, lookups and
+// heartbeats), so a single connection suffices. Failed requests are retried
+// with exponential backoff, reconnecting as needed.
 type Client struct {
 	addr string
 
-	mu   sync.Mutex
-	conn net.Conn
+	dials      atomic.Uint64
+	redials    atomic.Uint64
+	retries    atomic.Uint64
+	heartbeats atomic.Uint64
+	rejoins    atomic.Uint64
+
+	mu          sync.Mutex
+	conn        net.Conn
+	transport   Transport
+	attempts    int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dialTimeout time.Duration
+	rng         *rand.Rand
 }
 
+// Client retry defaults: three attempts with 10ms base backoff keeps a dead
+// registry from stalling callers while riding out a quick restart.
+const (
+	defaultAttempts    = 3
+	defaultBackoffBase = 10 * time.Millisecond
+	defaultBackoffMax  = 500 * time.Millisecond
+	defaultDialTimeout = 2 * time.Second
+)
+
 // NewClient returns a client for the registry at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+func NewClient(addr string) *Client {
+	return &Client{
+		addr:        addr,
+		attempts:    defaultAttempts,
+		backoffBase: defaultBackoffBase,
+		backoffMax:  defaultBackoffMax,
+		dialTimeout: defaultDialTimeout,
+		// Backoff jitter is deterministic: it only desynchronizes herds.
+		rng: rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetTransport routes the client's connections through t (nil restores
+// plain TCP). Call before the first request.
+func (c *Client) SetTransport(t Transport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.transport = t
+}
+
+// SetRetry tunes the request retry policy: total attempts per request and
+// the exponential backoff base/cap between them. Zero values keep defaults.
+func (c *Client) SetRetry(attempts int, base, max time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attempts > 0 {
+		c.attempts = attempts
+	}
+	if base > 0 {
+		c.backoffBase = base
+	}
+	if max > 0 {
+		c.backoffMax = max
+	}
+}
+
+// Stats returns a snapshot of the client's recovery counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Dials:      c.dials.Load(),
+		Redials:    c.redials.Load(),
+		Retries:    c.retries.Load(),
+		Heartbeats: c.heartbeats.Load(),
+		Rejoins:    c.rejoins.Load(),
+	}
+}
 
 // Close releases the client's connection.
 func (c *Client) Close() error {
@@ -304,26 +474,56 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// roundTrip sends one request and decodes the reply, reconnecting once if
-// the cached connection has gone stale.
+func (c *Client) dialLocked() error {
+	var conn net.Conn
+	var err error
+	if c.transport != nil {
+		conn, err = c.transport.DialTimeout("tcp", c.addr, c.dialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	}
+	if err != nil {
+		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
+	}
+	if c.dials.Add(1) > 1 {
+		c.redials.Add(1)
+	}
+	c.conn = conn
+	return nil
+}
+
+// roundTrip sends one request and decodes the reply, retrying with
+// exponential backoff (plus deterministic jitter) over fresh connections
+// when the transport fails.
 func (c *Client) roundTrip(typ uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
-		if c.conn == nil {
-			conn, err := net.Dial("tcp", c.addr)
-			if err != nil {
-				return nil, fmt.Errorf("registry: dial %s: %w", c.addr, err)
+	var lastErr error
+	backoff := c.backoffBase
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			d := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
+			time.Sleep(d)
+			if backoff *= 2; backoff > c.backoffMax {
+				backoff = c.backoffMax
 			}
-			c.conn = conn
+		}
+		if c.conn == nil {
+			if err := c.dialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
 		}
 		if err := wire.WriteFrame(c.conn, typ, payload); err != nil {
+			lastErr = err
 			c.conn.Close()
 			c.conn = nil
 			continue
 		}
 		rtyp, reply, err := wire.ReadFrame(c.conn)
 		if err != nil {
+			lastErr = err
 			c.conn.Close()
 			c.conn = nil
 			continue
@@ -334,7 +534,7 @@ func (c *Client) roundTrip(typ uint8, payload []byte) ([]byte, error) {
 		}
 		return reply, nil
 	}
-	return nil, fmt.Errorf("registry: cannot reach server at %s", c.addr)
+	return nil, fmt.Errorf("registry: cannot reach server at %s: %w", c.addr, lastErr)
 }
 
 // Create registers a channel name; reports whether this call created it.
@@ -365,6 +565,28 @@ func (c *Client) Join(channel, memberID, addr string) ([]Member, error) {
 	return decodeMembers(reply)
 }
 
+// Heartbeat refreshes a member's liveness, creating the channel and
+// (re-)registering the member if the server does not know it — which is how
+// clients transparently re-join after a registry restart. It reports
+// whether the heartbeat had to register the member.
+func (c *Client) Heartbeat(channel, memberID, addr string) (rejoined bool, err error) {
+	e := wire.NewEncoder(96)
+	e.String(channel)
+	e.String(memberID)
+	e.String(addr)
+	reply, err := c.roundTrip(msgHeartbeat, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	c.heartbeats.Add(1)
+	d := wire.NewDecoder(reply)
+	rejoined = d.Bool()
+	if rejoined {
+		c.rejoins.Add(1)
+	}
+	return rejoined, d.Finish()
+}
+
 // Leave removes a member from a channel.
 func (c *Client) Leave(channel, memberID string) error {
 	e := wire.NewEncoder(64)
@@ -393,7 +615,7 @@ func (c *Client) List() ([]string, error) {
 	}
 	d := wire.NewDecoder(reply)
 	n := d.Uint32()
-	if int(n) > 1<<20 {
+	if int64(n)*4 > int64(d.Remaining()) {
 		return nil, errors.New("registry: implausible channel count")
 	}
 	out := make([]string, n)
