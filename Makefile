@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check figures
+.PHONY: build test race vet check figures bench
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,9 @@ check: vet race
 
 figures:
 	$(GO) run ./cmd/figures
+
+# bench runs the tsdb benchmarks (bounded so the target stays quick) and
+# records machine-readable results in BENCH_tsdb.json via cmd/benchjson.
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json

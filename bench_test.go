@@ -7,6 +7,7 @@ package dproc
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"dproc/internal/simres"
 	"dproc/internal/smartpointer"
 	"dproc/internal/supermon"
+	"dproc/internal/tsdb"
 	"dproc/internal/wire"
 	"dproc/internal/workload"
 )
@@ -699,6 +701,75 @@ func BenchmarkWireFrame(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- tsdb (compressed history store) ---
+
+// loadavgSample returns the i-th sample of a deterministic slowly-varying
+// loadavg-like series: piecewise constant (the value changes every 8
+// samples), quantized to 0.01, one sample per second — the shape monitoring
+// history actually has, and the shape the ≤4 bytes/sample target in
+// DESIGN.md is stated for.
+func loadavgSample(i int) (int64, float64) {
+	t := clock.Epoch.UnixNano() + int64(i)*int64(time.Second)
+	step := float64(i / 8)
+	v := math.Round((2+1.5*math.Sin(step/40)+0.25*math.Sin(step/7))*100) / 100
+	return t, v
+}
+
+// BenchmarkTSDBAppend measures the history store's compressed append path
+// (delta-of-delta timestamp + XOR value encoding, tier updates, eviction
+// checks).
+func BenchmarkTSDBAppend(b *testing.B) {
+	s := tsdb.NewSeries(tsdb.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, v := loadavgSample(i)
+		s.Append(t, v)
+	}
+}
+
+// BenchmarkTSDBQuery measures a windowed average over a prebuilt 1M-sample
+// series — the DESIGN.md "single-digit milliseconds" target. Chunk
+// summaries let fully-covered chunks fold without decompression.
+func BenchmarkTSDBQuery(b *testing.B) {
+	const n = 1_000_000
+	s := tsdb.NewSeries(tsdb.Options{})
+	for i := 0; i < n; i++ {
+		t, v := loadavgSample(i)
+		s.Append(t, v)
+	}
+	from := clock.Epoch.UnixNano()
+	to := from + n*int64(time.Second)
+	q := tsdb.Query{Agg: tsdb.AggAvg, From: from, To: to}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count != n {
+			b.Fatalf("query covered %d samples, want %d", res.Count, n)
+		}
+	}
+}
+
+// BenchmarkTSDBCompression reports the storage cost per sample of the
+// compressed chunks against the 16-byte raw (int64, float64) encoding.
+func BenchmarkTSDBCompression(b *testing.B) {
+	const n = 100_000
+	b.ResetTimer()
+	var perSample float64
+	for i := 0; i < b.N; i++ {
+		s := tsdb.NewSeries(tsdb.Options{})
+		for j := 0; j < n; j++ {
+			t, v := loadavgSample(j)
+			s.Append(t, v)
+		}
+		perSample = float64(s.Bytes()) / n
+	}
+	b.ReportMetric(perSample, "bytes/sample")
+	b.ReportMetric(16/perSample, "compression-x")
+}
 
 // BenchmarkLinpack measures the real linpack kernel used by the workload
 // generator (reported Mflops on this host appear as ns/op scale).

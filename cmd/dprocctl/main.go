@@ -10,6 +10,7 @@
 //	dprocctl -node 127.0.0.1:7501 status
 //	dprocctl -node 127.0.0.1:7501 write cluster/maui/control 'period cpu 2'
 //	cat filter.ec | dprocctl -node 127.0.0.1:7501 write cluster/maui/control -
+//	dprocctl -node 127.0.0.1:7501 query maui 'avg loadavg last 60s'
 package main
 
 import (
@@ -86,6 +87,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case "query":
+		if len(args) < 3 {
+			usage()
+		}
+		out, err := client.Query(args[1], strings.Join(args[2:], " "))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
 	default:
 		usage()
 	}
@@ -102,6 +112,7 @@ func usage() {
   dprocctl [-node addr] cat <path>
   dprocctl [-node addr] tree [path]
   dprocctl [-node addr] status
-  dprocctl [-node addr] write <path> <data...|->`)
+  dprocctl [-node addr] write <path> <data...|->
+  dprocctl [-node addr] query <node> <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]`)
 	os.Exit(2)
 }

@@ -38,6 +38,9 @@ func main() {
 		battery = flag.Float64("battery", 0, "battery capacity in Wh; >0 registers the POWER_MON module (with -sim)")
 		noJoin  = flag.Bool("standalone", false, "do not join a cluster (local monitoring only)")
 
+		historyDepth = flag.Int("history-depth", 0, "default history view size in samples (0 = built-in 64)")
+		retention    = flag.Duration("retention", 0, "raw history retention per metric (0 = built-in 1h, <0 = unbounded)")
+
 		writeDeadline = flag.Duration("write-deadline", 5*time.Second, "per-peer send deadline (<0 disables)")
 		reconnect     = flag.Duration("reconnect", 250*time.Millisecond, "base interval of the mesh reconnect supervisor")
 		noHeal        = flag.Bool("no-heal", false, "disable the reconnect supervisor and registry heartbeats")
@@ -45,9 +48,11 @@ func main() {
 	flag.Parse()
 
 	cfg := core.Config{
-		Name:    *name,
-		Clock:   clock.NewReal(),
-		Padding: *padding,
+		Name:             *name,
+		Clock:            clock.NewReal(),
+		Padding:          *padding,
+		HistoryDepth:     *historyDepth,
+		HistoryRetention: *retention,
 		ChannelOptions: &kecho.Options{
 			WriteDeadline:     *writeDeadline,
 			ReconnectInterval: *reconnect,

@@ -7,6 +7,10 @@
 //	tree [path]\n            → OK\n<indented hierarchy>
 //	status\n                 → OK\n<node status lines>
 //	write <path>\n<body EOF> → OK\n
+//	query <node> <query>\n   → OK\n<windowed aggregate result>
+//
+// query is sugar over the cluster/<node>/query pseudo-file: it writes the
+// query string and reads the result back in one round trip.
 //
 // Errors come back as a single "ERR <message>" line. The protocol exists so
 // the pseudo-filesystem contract of the paper ("simple reads and writes to
@@ -151,6 +155,23 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 		reply("OK\n")
+	case "query":
+		if len(fields) < 3 {
+			reply("ERR usage: query <node> <agg> <metric> [window]\n")
+			return
+		}
+		path := "cluster/" + fields[1] + "/query"
+		q := strings.Join(fields[2:], " ")
+		if err := fs.WriteFile(path, q); err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		result, err := fs.ReadFile(path)
+		if err != nil {
+			reply("ERR " + err.Error() + "\n")
+			return
+		}
+		reply("OK\n" + result)
 	case "status":
 		reply("OK\n")
 		d := s.node.DMon()
@@ -162,7 +183,7 @@ func (s *Server) serve(conn net.Conn) {
 				remote, count, last.Format(time.RFC3339)))
 		}
 	default:
-		reply("ERR unknown command " + fields[0] + " (have ls, cat, tree, write, status)\n")
+		reply("ERR unknown command " + fields[0] + " (have ls, cat, tree, write, query, status)\n")
 	}
 }
 
@@ -248,4 +269,10 @@ func (c *Client) Status() (string, error) {
 func (c *Client) Write(path, data string) error {
 	_, err := c.roundTrip("write "+path+"\n", []byte(data))
 	return err
+}
+
+// Query runs a windowed aggregate query against one node's history via the
+// cluster/<node>/query control file and returns the rendered result.
+func (c *Client) Query(node, query string) (string, error) {
+	return c.roundTrip("query "+node+" "+query+"\n", nil)
 }

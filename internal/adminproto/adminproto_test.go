@@ -127,6 +127,32 @@ func TestWriteReadOnlyFileErrs(t *testing.T) {
 	}
 }
 
+func TestQueryVerb(t *testing.T) {
+	srv, c, _ := newServer(t)
+	for i := 1; i <= 20; i++ {
+		ts := clock.Epoch.Add(time.Duration(i) * time.Second)
+		srv.node.DMon().Store().Update(&metrics.Report{
+			Node: "grace", Seq: uint64(i), Time: ts,
+			Samples: []metrics.Sample{{ID: metrics.LOADAVG, Value: float64(i), Time: ts}},
+		})
+	}
+	srv.node.Refresh()
+	out, err := c.Query("grace", "avg loadavg last 10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples 11..20 → avg 15.5.
+	if !strings.Contains(out, "value 15.5\n") || !strings.Contains(out, "samples 10\n") {
+		t.Fatalf("query result = %q", out)
+	}
+	if _, err := c.Query("ghost", "avg loadavg last 10s"); err == nil {
+		t.Fatal("query against unknown node succeeded")
+	}
+	if _, err := c.Query("grace", "gibberish loadavg"); err == nil {
+		t.Fatal("malformed query succeeded")
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	srv, _, _ := newServer(t)
 	conn, err := net.Dial("tcp", srv.Addr())

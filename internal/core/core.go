@@ -36,6 +36,13 @@ type Config struct {
 	Padding int
 	// ChannelOptions tunes the KECho channels (nil for defaults).
 	ChannelOptions *kecho.Options
+	// HistoryDepth is the default size of the history view served by
+	// cluster/<node>/history/<metric> (dmon.HistoryDepth when zero).
+	HistoryDepth int
+	// HistoryRetention bounds the compressed per-metric history kept by
+	// the tsdb store (dmon.DefaultRetention when zero, unbounded when
+	// negative).
+	HistoryRetention time.Duration
 }
 
 // Node is one dproc participant.
@@ -72,9 +79,12 @@ func NewNode(cfg Config) (*Node, error) {
 		src = NewSysinfoSource(clk)
 	}
 	n := &Node{
-		name:    cfg.Name,
-		clk:     clk,
-		d:       dmon.New(cfg.Name, clk, src),
+		name: cfg.Name,
+		clk:  clk,
+		d: dmon.NewWith(cfg.Name, clk, src, dmon.StoreOptions{
+			HistoryDepth: cfg.HistoryDepth,
+			Retention:    cfg.HistoryRetention,
+		}),
 		fs:      vfs.New(),
 		tracked: map[string]bool{},
 	}
@@ -191,16 +201,31 @@ func (n *Node) trackRemote(nodeName string) {
 			return formatMetric(id, sample.Value), nil
 		}, nil)
 		// history/<metric> lists the retained samples, oldest first — the
-		// store's MAGNeT-style ring buffer as a pseudo-file.
+		// tsdb-backed successor of the MAGNeT-style ring buffer as a
+		// pseudo-file. One "<unix seconds> <value>" pair per line, directly
+		// plottable (e.g. gnuplot "using 1:2").
 		_ = n.fs.Create(base+"/history/"+id.String(), func() (string, error) {
 			samples := store.History(nodeName, id, 0)
 			var sb strings.Builder
 			for _, s := range samples {
-				fmt.Fprintf(&sb, "%d %g\n", s.Time.UnixNano(), s.Value)
+				fmt.Fprintf(&sb, "%.3f %g\n", float64(s.Time.UnixNano())/1e9, s.Value)
 			}
 			return sb.String(), nil
 		}, nil)
 	}
+	// query executes windowed aggregates over the node's compressed
+	// history: write "<agg> <metric> [from <t> to <t> | last <dur>]
+	// [@<res>]", then read back the result — the paper's "read text
+	// files, write control strings" contract applied to the tsdb.
+	qf := &queryFile{last: queryUsage}
+	_ = n.fs.Create(base+"/query", qf.read, func(data string) error {
+		out, err := store.Query(nodeName, strings.TrimSpace(data))
+		if err != nil {
+			return err
+		}
+		qf.set(out)
+		return nil
+	})
 	_ = n.fs.Create(base+"/status", func() (string, error) {
 		last, count := store.LastReport(nodeName)
 		return fmt.Sprintf("reports %d\nlast %s\n", count, last.UTC().Format(time.RFC3339Nano)), nil
@@ -210,6 +235,29 @@ func (n *Node) trackRemote(nodeName string) {
 	_ = n.fs.Create(base+"/control", vfs.StaticRead(""), func(data string) error {
 		return n.d.SendControl(nodeName, data)
 	})
+}
+
+// queryUsage is served by a query pseudo-file before its first write.
+const queryUsage = "write a query first: <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]\n" +
+	"agg: min max avg sum count rate p50 p95 p99\n"
+
+// queryFile holds the last query result for one node's query pseudo-file:
+// writing executes the query, reading returns the rendered result.
+type queryFile struct {
+	mu   sync.Mutex
+	last string
+}
+
+func (q *queryFile) read() (string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.last, nil
+}
+
+func (q *queryFile) set(s string) {
+	q.mu.Lock()
+	q.last = s
+	q.mu.Unlock()
 }
 
 // Refresh materializes VFS entries for any newly seen remote nodes.

@@ -426,3 +426,97 @@ func TestStandaloneHealthFileHasNoChannels(t *testing.T) {
 		t.Fatalf("standalone health file lists channels:\n%s", content)
 	}
 }
+
+// feedRemote folds synthetic loadavg reports for a remote node into a
+// standalone node's store and materializes its VFS entries.
+func feedRemote(t *testing.T, n *Node, remote string, count int) {
+	t.Helper()
+	for i := 1; i <= count; i++ {
+		ts := clock.Epoch.Add(time.Duration(i) * time.Second)
+		n.DMon().Store().Update(&metrics.Report{
+			Node: remote, Seq: uint64(i), Time: ts,
+			Samples: []metrics.Sample{{ID: metrics.LOADAVG, Value: float64(i), Time: ts}},
+		})
+	}
+	n.Refresh()
+}
+
+func TestHistoryFileTimestampFormat(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	n, err := NewNode(Config{Name: "alan", Clock: clk, Source: simres.NewHost("alan", clk, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	feedRemote(t, n, "maui", 3)
+	content, err := n.FS().ReadFile("cluster/maui/history/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch is 2003-06-23T00:00:00Z = 1056326400 Unix; each line is
+	// "<unix seconds to 3 decimals> <value>", oldest first — plottable
+	// as-is.
+	want := "1056326401.000 1\n1056326402.000 2\n1056326403.000 3\n"
+	if content != want {
+		t.Fatalf("history file = %q, want %q", content, want)
+	}
+}
+
+func TestHistoryDepthConfigThreadsThrough(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	n, err := NewNode(Config{Name: "alan", Clock: clk, Source: simres.NewHost("alan", clk, 1), HistoryDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	feedRemote(t, n, "maui", 10)
+	content, err := n.FS().ReadFile("cluster/maui/history/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("history view = %d lines, want the configured depth 4:\n%s", len(lines), content)
+	}
+	if !strings.HasSuffix(lines[3], " 10") || !strings.HasSuffix(lines[0], " 7") {
+		t.Fatalf("history view window = %q", lines)
+	}
+}
+
+func TestQueryControlFile(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	n, err := NewNode(Config{Name: "alan", Clock: clk, Source: simres.NewHost("alan", clk, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	feedRemote(t, n, "maui", 60)
+	// Reading before any query returns usage text.
+	out, err := n.FS().ReadFile("cluster/maui/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "write a query first") {
+		t.Fatalf("initial query file = %q", out)
+	}
+	// Write a query string, read the result: the paper's control-file
+	// contract applied to the tsdb.
+	if err := n.FS().WriteFile("cluster/maui/query", "avg loadavg last 10s\n"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = n.FS().ReadFile("cluster/maui/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "value 55.5\n") || !strings.Contains(out, "samples 10\n") {
+		t.Fatalf("query result = %q", out)
+	}
+	// Malformed queries are rejected at write time and leave the last
+	// result intact.
+	if err := n.FS().WriteFile("cluster/maui/query", "bogus"); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+	if again, _ := n.FS().ReadFile("cluster/maui/query"); again != out {
+		t.Fatal("failed query clobbered the last result")
+	}
+}

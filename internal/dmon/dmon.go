@@ -52,11 +52,17 @@ type DMon struct {
 // New creates a d-mon for the named node, registering the standard modules
 // backed by src. src may be nil if all modules are registered manually.
 func New(node string, clk clock.Clock, src Source) *DMon {
+	return NewWith(node, clk, src, StoreOptions{})
+}
+
+// NewWith is New with explicit history options (depth/retention) for the
+// store backing /proc/cluster.
+func NewWith(node string, clk clock.Clock, src Source, opts StoreOptions) *DMon {
 	d := &DMon{
 		node:  node,
 		clk:   clk,
 		vm:    ecode.NewVM(),
-		store: NewStore(),
+		store: NewStoreWith(opts),
 	}
 	for r := range d.config {
 		d.config[r] = ResourceConfig{Period: DefaultPeriod}

@@ -1,107 +1,158 @@
 package dmon
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"dproc/internal/metrics"
+	"dproc/internal/tsdb"
 )
 
-// HistoryDepth is how many past samples the store retains per (node,
-// metric) — a small circular buffer in the spirit of MAGNeT's in-kernel
-// event ring, letting applications inspect recent trends rather than only
-// the latest value.
+// HistoryDepth is the default size of the history *view*: how many recent
+// samples History returns when no explicit count is requested — the size
+// of the original MAGNeT-style ring buffer. The store itself now retains
+// far more underneath, compressed in tsdb chunks, bounded by
+// StoreOptions.Retention rather than a sample count.
 const HistoryDepth = 64
 
-// ring is a fixed-capacity circular buffer of samples.
-type ring struct {
-	buf   [HistoryDepth]metrics.Sample
-	start int
-	n     int
+// DefaultRetention bounds how far raw per-metric history reaches behind
+// the newest sample when StoreOptions.Retention is zero.
+const DefaultRetention = time.Hour
+
+// StoreOptions tunes the store's history subsystem. The zero value gives
+// the defaults: a 64-sample default view over one hour of raw retention
+// with the standard 10s/60s downsampling tiers.
+type StoreOptions struct {
+	// HistoryDepth is the default History view size (HistoryDepth when
+	// zero).
+	HistoryDepth int
+	// Retention bounds raw sample history per (node, metric)
+	// (DefaultRetention when zero; negative keeps samples forever).
+	Retention time.Duration
+	// ChunkSize is the tsdb chunk size in samples (tsdb default when
+	// zero).
+	ChunkSize int
 }
 
-func (r *ring) push(s metrics.Sample) {
-	if r.n < HistoryDepth {
-		r.buf[(r.start+r.n)%HistoryDepth] = s
-		r.n++
-		return
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.HistoryDepth <= 0 {
+		o.HistoryDepth = HistoryDepth
 	}
-	r.buf[r.start] = s
-	r.start = (r.start + 1) % HistoryDepth
-}
-
-// slice returns up to n samples, oldest first (all if n <= 0).
-func (r *ring) slice(n int) []metrics.Sample {
-	if n <= 0 || n > r.n {
-		n = r.n
+	switch {
+	case o.Retention == 0:
+		o.Retention = DefaultRetention
+	case o.Retention < 0:
+		o.Retention = 0 // tsdb convention: zero = unbounded
 	}
-	out := make([]metrics.Sample, n)
-	for i := 0; i < n; i++ {
-		out[i] = r.buf[(r.start+r.n-n+i)%HistoryDepth]
-	}
-	return out
+	return o
 }
 
 // Store holds the most recent monitoring data received from remote nodes.
 // It is the backing state for the /proc/cluster/<node>/<metric> pseudo-files.
+// Per-metric history lives in a tsdb.DB: Gorilla-compressed chunks with
+// downsampling tiers and windowed aggregate queries, keyed
+// "<node>/<metric>".
 type Store struct {
 	mu      sync.RWMutex
+	opts    StoreOptions
 	data    map[string]map[metrics.ID]metrics.Sample
-	hist    map[string]map[metrics.ID]*ring
+	db      *tsdb.DB
 	lastRpt map[string]time.Time
 	reports map[string]uint64
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
+// NewStore returns an empty store with default options.
+func NewStore() *Store { return NewStoreWith(StoreOptions{}) }
+
+// NewStoreWith returns an empty store with the given history options.
+func NewStoreWith(opts StoreOptions) *Store {
+	opts = opts.withDefaults()
 	return &Store{
-		data:    map[string]map[metrics.ID]metrics.Sample{},
-		hist:    map[string]map[metrics.ID]*ring{},
+		opts: opts,
+		data: map[string]map[metrics.ID]metrics.Sample{},
+		db: tsdb.NewDB(tsdb.Options{
+			ChunkSize: opts.ChunkSize,
+			Retention: opts.Retention,
+			Tiers:     tsdb.DefaultTiers(opts.Retention),
+		}),
 		lastRpt: map[string]time.Time{},
 		reports: map[string]uint64{},
 	}
 }
 
-// Update folds one received report into the store.
+// seriesKey names the tsdb series for (node, metric). Metric names never
+// contain '/', so the node prefix is unambiguous for DropPrefix.
+func seriesKey(node string, id metrics.ID) string { return node + "/" + id.String() }
+
+// Options returns the store's effective history options.
+func (s *Store) Options() StoreOptions { return s.opts }
+
+// TSDB exposes the history store (for stats, benchmarks and direct
+// queries).
+func (s *Store) TSDB() *tsdb.DB { return s.db }
+
+// Update folds one received report into the store. Samples whose
+// timestamps do not advance a series (replayed or reordered reports) keep
+// the latest-value map current but are not duplicated into history.
 func (s *Store) Update(r *metrics.Report) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	nodeData, ok := s.data[r.Node]
 	if !ok {
 		nodeData = map[metrics.ID]metrics.Sample{}
 		s.data[r.Node] = nodeData
 	}
-	nodeHist, ok := s.hist[r.Node]
-	if !ok {
-		nodeHist = map[metrics.ID]*ring{}
-		s.hist[r.Node] = nodeHist
-	}
 	for _, sample := range r.Samples {
 		nodeData[sample.ID] = sample
-		rg, ok := nodeHist[sample.ID]
-		if !ok {
-			rg = &ring{}
-			nodeHist[sample.ID] = rg
-		}
-		rg.push(sample)
 	}
 	if r.Time.After(s.lastRpt[r.Node]) {
 		s.lastRpt[r.Node] = r.Time
 	}
 	s.reports[r.Node]++
+	s.mu.Unlock()
+	// The tsdb has its own lock; appending outside s.mu keeps readers of
+	// the latest-value map unblocked during chunk work.
+	for _, sample := range r.Samples {
+		s.db.Append(seriesKey(r.Node, sample.ID), sample.Time.UnixNano(), sample.Value)
+	}
 }
 
 // History returns up to n retained samples for (node, metric), oldest
-// first; n <= 0 returns everything retained.
+// first; n <= 0 returns the default view of the most recent
+// StoreOptions.HistoryDepth samples.
 func (s *Store) History(node string, id metrics.ID, n int) []metrics.Sample {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rg, ok := s.hist[node][id]
-	if !ok {
+	if n <= 0 {
+		n = s.opts.HistoryDepth
+	}
+	pts := s.db.Tail(seriesKey(node, id), n)
+	if pts == nil {
 		return nil
 	}
-	return rg.slice(n)
+	out := make([]metrics.Sample, len(pts))
+	for i, p := range pts {
+		out[i] = metrics.Sample{ID: id, Value: p.V, Time: time.Unix(0, p.T).UTC()}
+	}
+	return out
+}
+
+// Query parses and executes a windowed aggregate query (tsdb grammar:
+// "<agg> <metric> [from <t> to <t> | last <dur>] [@<res>]") against one
+// node's history, returning the rendered result text.
+func (s *Store) Query(node, text string) (string, error) {
+	q, err := tsdb.ParseQuery(text)
+	if err != nil {
+		return "", err
+	}
+	id, ok := metrics.ParseID(q.Metric)
+	if !ok {
+		return "", fmt.Errorf("dmon: unknown metric %q", q.Metric)
+	}
+	res, err := s.db.Query(seriesKey(node, id), q)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
 }
 
 // Get returns the latest sample for (node, metric).
@@ -153,9 +204,9 @@ func (s *Store) LastReport(node string) (time.Time, uint64) {
 // Forget drops all state for a node (e.g. after it leaves the cluster).
 func (s *Store) Forget(node string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.data, node)
-	delete(s.hist, node)
 	delete(s.lastRpt, node)
 	delete(s.reports, node)
+	s.mu.Unlock()
+	s.db.DropPrefix(node + "/")
 }

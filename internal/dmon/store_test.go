@@ -1,6 +1,7 @@
 package dmon
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -30,6 +31,9 @@ func TestHistoryAccumulatesInOrder(t *testing.T) {
 		if sample.Value != float64(i+1) {
 			t.Fatalf("history = %v, want oldest-first 1..5", h)
 		}
+		if want := clock.Epoch.Add(time.Duration(i+1) * time.Second); !sample.Time.Equal(want) {
+			t.Fatalf("history[%d].Time = %v, want %v", i, sample.Time, want)
+		}
 	}
 	// A bounded request returns the most recent n.
 	h2 := s.History("alan", metrics.LOADAVG, 2)
@@ -38,7 +42,7 @@ func TestHistoryAccumulatesInOrder(t *testing.T) {
 	}
 }
 
-func TestHistoryRingWrapsAtDepth(t *testing.T) {
+func TestHistoryDefaultViewIsDepthBounded(t *testing.T) {
 	s := NewStore()
 	total := HistoryDepth + 17
 	for i := 1; i <= total; i++ {
@@ -48,9 +52,40 @@ func TestHistoryRingWrapsAtDepth(t *testing.T) {
 	if len(h) != HistoryDepth {
 		t.Fatalf("history length = %d, want %d", len(h), HistoryDepth)
 	}
-	// Oldest retained is total-HistoryDepth+1.
+	// Oldest in the default view is total-HistoryDepth+1.
 	if h[0].Value != float64(total-HistoryDepth+1) || h[len(h)-1].Value != float64(total) {
 		t.Fatalf("history range = [%g, %g]", h[0].Value, h[len(h)-1].Value)
+	}
+	// The tsdb retains the full run underneath the 64-deep default view.
+	if deep := s.History("alan", metrics.LOADAVG, total); len(deep) != total {
+		t.Fatalf("explicit History(%d) = %d samples", total, len(deep))
+	}
+}
+
+func TestHistoryDepthOption(t *testing.T) {
+	s := NewStoreWith(StoreOptions{HistoryDepth: 8})
+	for i := 1; i <= 20; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	h := s.History("alan", metrics.LOADAVG, 0)
+	if len(h) != 8 || h[0].Value != 13 || h[7].Value != 20 {
+		t.Fatalf("History(0) with depth 8 = %v", h)
+	}
+}
+
+func TestHistoryRetentionOption(t *testing.T) {
+	s := NewStoreWith(StoreOptions{Retention: time.Minute, ChunkSize: 16})
+	for i := 1; i <= 600; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	st := s.TSDB().Stats()
+	// One chunk (16 samples) spans 16s; a 60s window keeps at most a
+	// handful of chunks plus the head.
+	if st.Samples > 5*16+16 {
+		t.Fatalf("retention kept %d samples for a 60s window at 1 Hz", st.Samples)
+	}
+	if h := s.History("alan", metrics.LOADAVG, 0); h[len(h)-1].Value != 600 {
+		t.Fatal("newest sample lost to retention")
 	}
 }
 
@@ -72,40 +107,78 @@ func TestHistoryForgottenWithNode(t *testing.T) {
 	if h := s.History("alan", metrics.LOADAVG, 0); h != nil {
 		t.Fatal("history survived Forget")
 	}
+	if names := s.TSDB().Names(); len(names) != 0 {
+		t.Fatalf("tsdb series survived Forget: %v", names)
+	}
 }
 
-// Property: for any sequence of pushes, the ring holds the most recent
-// min(len, depth) values in order.
-func TestQuickRingSemantics(t *testing.T) {
-	f := func(values []float64) bool {
-		var r ring
-		for i, v := range values {
-			r.push(metrics.Sample{ID: metrics.LOADAVG, Value: v, Time: clock.Epoch.Add(time.Duration(i))})
+func TestHistoryIgnoresReplayedReports(t *testing.T) {
+	s := NewStore()
+	s.Update(reportAt("alan", 1, 1))
+	s.Update(reportAt("alan", 2, 2))
+	s.Update(reportAt("alan", 1, 1)) // replayed
+	if h := s.History("alan", metrics.LOADAVG, 0); len(h) != 2 {
+		t.Fatalf("replayed report duplicated history: %v", h)
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 60; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	out, err := s.Query("alan", "avg loadavg last 10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples 51..60 → avg 55.5.
+	if !strings.Contains(out, "value 55.5\n") || !strings.Contains(out, "samples 10\n") {
+		t.Fatalf("query result = %q", out)
+	}
+	if _, err := s.Query("alan", "avg nope last 10s"); err == nil {
+		t.Fatal("query for unknown metric succeeded")
+	}
+	if _, err := s.Query("ghost", "avg loadavg last 10s"); err == nil {
+		t.Fatal("query for unknown node succeeded")
+	}
+	if _, err := s.Query("alan", "gibberish"); err == nil {
+		t.Fatal("malformed query succeeded")
+	}
+}
+
+// Property: appending N >> depth samples yields the newest samples
+// oldest-first with no duplicates — under both the depth-bounded History
+// view and the full tsdb tail.
+func TestQuickHistoryWraparound(t *testing.T) {
+	f := func(extra uint16) bool {
+		s := NewStoreWith(StoreOptions{ChunkSize: 32})
+		n := HistoryDepth + 1 + int(extra)%1000
+		for i := 1; i <= n; i++ {
+			s.Update(reportAt("alan", uint64(i), float64(i)))
 		}
-		want := values
-		if len(want) > HistoryDepth {
-			want = want[len(want)-HistoryDepth:]
-		}
-		got := r.slice(0)
-		if len(got) != len(want) {
+		// Default view: exactly the newest HistoryDepth, oldest first.
+		view := s.History("alan", metrics.LOADAVG, 0)
+		if len(view) != HistoryDepth {
 			return false
 		}
-		for i := range want {
-			gv, wv := got[i].Value, want[i]
-			if gv != wv && !(gv != gv && wv != wv) { // NaN-safe
+		for i, sample := range view {
+			if sample.Value != float64(n-HistoryDepth+1+i) {
 				return false
 			}
 		}
-		// Partial reads return suffixes.
-		if len(want) >= 3 {
-			part := r.slice(3)
-			if len(part) != 3 || (part[2].Value != want[len(want)-1] && part[2].Value == part[2].Value) {
+		// Full tsdb tail: every sample exactly once, strictly increasing.
+		full := s.TSDB().Tail("alan/loadavg", 0)
+		if len(full) != n {
+			return false
+		}
+		for i := 1; i < len(full); i++ {
+			if full[i].T <= full[i-1].T || full[i].V != full[i-1].V+1 {
 				return false
 			}
 		}
-		return true
+		return full[len(full)-1].V == float64(n)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

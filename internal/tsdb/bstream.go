@@ -1,0 +1,80 @@
+// Package tsdb is the compressed time-series history store behind the
+// dproc monitoring paths. It retains per-series sample history far beyond
+// the original 64-entry ring at a fraction of the raw memory cost:
+// timestamps are delta-of-delta encoded and values XOR encoded in the
+// style of Facebook's Gorilla, samples are packed into fixed-size sealed
+// chunks behind one mutable head chunk, each sealed chunk carries a
+// pre-computed summary so windowed aggregate queries skip decompression
+// for fully-covered chunks, and multi-resolution downsampling tiers
+// (raw → 10s → 60s by default) answer coarse queries over long ranges.
+//
+// The subsystem never reads a wall clock: retention, eviction and
+// downsampling are driven entirely by the timestamps of appended samples,
+// so every behavior is deterministic under internal/clock's virtual time.
+package tsdb
+
+import "fmt"
+
+// bitWriter appends bits to a byte buffer, most-significant bit first.
+type bitWriter struct {
+	buf  []byte
+	free uint // unused low-order bits in the final byte
+}
+
+func (w *bitWriter) writeBit(bit uint64) { w.writeBits(bit, 1) }
+
+// writeBits appends the n low-order bits of v, most-significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if take > n {
+			take = n
+		}
+		chunk := byte(v >> (n - take) & (1<<take - 1))
+		w.buf[len(w.buf)-1] |= chunk << (w.free - take)
+		w.free -= take
+		n -= take
+	}
+}
+
+// bytes returns the packed buffer (the final byte may be partially used).
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits from a buffer written by bitWriter.
+type bitReader struct {
+	buf  []byte
+	idx  int
+	used uint // bits already consumed from buf[idx]
+}
+
+func newBitReader(buf []byte) bitReader { return bitReader{buf: buf} }
+
+func (r *bitReader) readBit() (uint64, error) { return r.readBits(1) }
+
+// readBits returns the next n bits as the low-order bits of a uint64.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.idx >= len(r.buf) {
+			return 0, fmt.Errorf("tsdb: bitstream exhausted")
+		}
+		avail := 8 - r.used
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.buf[r.idx]) >> (avail - take) & (1<<take - 1)
+		v = v<<take | chunk
+		r.used += take
+		if r.used == 8 {
+			r.idx++
+			r.used = 0
+		}
+		n -= take
+	}
+	return v, nil
+}

@@ -1,0 +1,273 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Point is one timestamped sample. T is nanoseconds since the Unix epoch
+// (time.Time.UnixNano), V the sampled value.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Summary is the pre-computed digest a chunk maintains while samples are
+// appended. Windowed queries fold summaries of fully-covered chunks
+// directly, decoding only the chunks that straddle a window edge.
+type Summary struct {
+	Count       int
+	TMin, TMax  int64
+	First, Last float64
+	Min, Max    float64
+	Sum         float64
+}
+
+// fold merges other (a later time range) into s.
+func (s *Summary) fold(other Summary) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = other
+		return
+	}
+	s.Count += other.Count
+	s.TMax = other.TMax
+	s.Last = other.Last
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.Sum += other.Sum
+}
+
+func (s *Summary) observe(t int64, v float64) {
+	if s.Count == 0 {
+		s.TMin, s.First, s.Min, s.Max = t, v, v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Count++
+	s.TMax = t
+	s.Last = v
+	s.Sum += v
+}
+
+// Chunk is an append-only Gorilla-compressed block of points. Timestamps
+// are delta-of-delta encoded, values XOR encoded against their predecessor.
+// A Chunk is not safe for concurrent use; Series/DB serialize access.
+//
+// Bit layout, per sample:
+//
+//	sample 0:  64-bit timestamp, 64-bit value
+//	sample i:  dod class + payload, then value XOR block
+//	  dod = 0                     → '0'
+//	  dod in ±2¹³ ns              → '10'   + 14-bit two's complement
+//	  dod in ±2²³ ns              → '110'  + 24-bit two's complement
+//	  dod in ±2³⁵ ns              → '1110' + 36-bit two's complement
+//	  else                        → '1111' + 64-bit raw
+//	  xor = 0                     → '0'
+//	  xor fits previous window    → '10' + meaningful bits
+//	  else                        → '11' + 6-bit leading-zero count
+//	                                     + 6-bit (significant bits - 1)
+//	                                     + significant bits
+//
+// Samples appended at a fixed period (the common monitoring case) cost one
+// bit of timestamp, and unchanged values one bit of value: two bits per
+// sample between value changes.
+type Chunk struct {
+	w       bitWriter
+	summary Summary
+
+	prevT     int64
+	prevDelta int64
+	prevV     uint64
+	leading   uint
+	trailing  uint
+	haveWin   bool
+}
+
+// Append adds a point. Timestamps must be strictly increasing; the caller
+// (Series) enforces that.
+func (c *Chunk) Append(t int64, v float64) {
+	vb := math.Float64bits(v)
+	if c.summary.Count == 0 {
+		c.w.writeBits(uint64(t), 64)
+		c.w.writeBits(vb, 64)
+	} else {
+		delta := t - c.prevT
+		dod := delta - c.prevDelta
+		switch {
+		case dod == 0:
+			c.w.writeBit(0)
+		case dod >= -(1<<13) && dod < 1<<13:
+			c.w.writeBits(0b10, 2)
+			c.w.writeBits(uint64(dod)&(1<<14-1), 14)
+		case dod >= -(1<<23) && dod < 1<<23:
+			c.w.writeBits(0b110, 3)
+			c.w.writeBits(uint64(dod)&(1<<24-1), 24)
+		case dod >= -(1<<35) && dod < 1<<35:
+			c.w.writeBits(0b1110, 4)
+			c.w.writeBits(uint64(dod)&(1<<36-1), 36)
+		default:
+			c.w.writeBits(0b1111, 4)
+			c.w.writeBits(uint64(dod), 64)
+		}
+		c.prevDelta = delta
+
+		xor := vb ^ c.prevV
+		if xor == 0 {
+			c.w.writeBit(0)
+		} else {
+			lead := uint(bits.LeadingZeros64(xor))
+			if lead > 63 {
+				lead = 63
+			}
+			trail := uint(bits.TrailingZeros64(xor))
+			if c.haveWin && lead >= c.leading && trail >= c.trailing {
+				c.w.writeBits(0b10, 2)
+				c.w.writeBits(xor>>c.trailing, 64-c.leading-c.trailing)
+			} else {
+				sig := 64 - lead - trail
+				c.w.writeBits(0b11, 2)
+				c.w.writeBits(uint64(lead), 6)
+				c.w.writeBits(uint64(sig-1), 6)
+				c.w.writeBits(xor>>trail, sig)
+				c.leading, c.trailing, c.haveWin = lead, trail, true
+			}
+		}
+	}
+	c.prevT = t
+	c.prevV = vb
+	c.summary.observe(t, v)
+}
+
+// Summary returns the chunk's running digest.
+func (c *Chunk) Summary() Summary { return c.summary }
+
+// Bytes returns the compressed size of the chunk in bytes.
+func (c *Chunk) Bytes() int { return len(c.w.buf) }
+
+// Iter returns a decoder positioned before the first sample. The chunk
+// must not be appended to while the iterator is in use (Series queries run
+// under the lock that also guards appends).
+func (c *Chunk) Iter() *ChunkIter {
+	return &ChunkIter{r: newBitReader(c.w.bytes()), total: c.summary.Count}
+}
+
+// ChunkIter decodes a chunk's points in append order.
+type ChunkIter struct {
+	r     bitReader
+	total int
+	count int
+
+	t        int64
+	delta    int64
+	v        uint64
+	leading  uint
+	trailing uint
+	haveWin  bool
+	err      error
+}
+
+// Next returns the next point; ok is false once the chunk is exhausted or
+// the stream is corrupt (see Err).
+func (it *ChunkIter) Next() (Point, bool) {
+	if it.err != nil || it.count >= it.total {
+		return Point{}, false
+	}
+	fail := func(err error) (Point, bool) { it.err = err; return Point{}, false }
+	if it.count == 0 {
+		tb, err := it.r.readBits(64)
+		if err != nil {
+			return fail(err)
+		}
+		vb, err := it.r.readBits(64)
+		if err != nil {
+			return fail(err)
+		}
+		it.t, it.v = int64(tb), vb
+		it.count++
+		return Point{T: it.t, V: math.Float64frombits(it.v)}, true
+	}
+	// Timestamp: read the dod class prefix.
+	var dod int64
+	n := uint(0)
+	for {
+		bit, err := it.r.readBit()
+		if err != nil {
+			return fail(err)
+		}
+		if bit == 0 {
+			break
+		}
+		n++
+		if n == 4 {
+			break
+		}
+	}
+	widths := [5]uint{0, 14, 24, 36, 64}
+	if w := widths[n]; w > 0 {
+		raw, err := it.r.readBits(w)
+		if err != nil {
+			return fail(err)
+		}
+		if w < 64 && raw&(1<<(w-1)) != 0 { // sign-extend
+			raw |= ^uint64(0) << w
+		}
+		dod = int64(raw)
+	}
+	it.delta += dod
+	it.t += it.delta
+
+	// Value: XOR block.
+	bit, err := it.r.readBit()
+	if err != nil {
+		return fail(err)
+	}
+	if bit == 1 {
+		ctrl, err := it.r.readBit()
+		if err != nil {
+			return fail(err)
+		}
+		if ctrl == 1 {
+			lead, err := it.r.readBits(6)
+			if err != nil {
+				return fail(err)
+			}
+			sigm1, err := it.r.readBits(6)
+			if err != nil {
+				return fail(err)
+			}
+			it.leading = uint(lead)
+			sig := uint(sigm1) + 1
+			if it.leading+sig > 64 {
+				return fail(fmt.Errorf("tsdb: corrupt xor window"))
+			}
+			it.trailing = 64 - it.leading - sig
+			it.haveWin = true
+		} else if !it.haveWin {
+			return fail(fmt.Errorf("tsdb: xor reuse before window"))
+		}
+		sig := 64 - it.leading - it.trailing
+		mbits, err := it.r.readBits(sig)
+		if err != nil {
+			return fail(err)
+		}
+		it.v ^= mbits << it.trailing
+	}
+	it.count++
+	return Point{T: it.t, V: math.Float64frombits(it.v)}, true
+}
+
+// Err returns the first decode error, if any.
+func (it *ChunkIter) Err() error { return it.err }

@@ -1,0 +1,115 @@
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is a concurrency-safe collection of named series sharing one Options
+// set. dmon.Store keys series as "<node>/<metric>"; any string works.
+type DB struct {
+	mu     sync.RWMutex
+	opts   Options
+	series map[string]*Series
+}
+
+// NewDB returns an empty store; series are created on first append.
+func NewDB(opts Options) *DB {
+	return &DB{opts: opts.withDefaults(), series: map[string]*Series{}}
+}
+
+// Append adds a sample to the named series, creating it if needed. It
+// reports whether the sample was retained (false for non-increasing
+// timestamps).
+func (db *DB) Append(name string, t int64, v float64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[name]
+	if !ok {
+		s = NewSeries(db.opts)
+		db.series[name] = s
+	}
+	return s.Append(t, v)
+}
+
+// Tail returns the newest n samples of the named series, oldest first
+// (nil for an unknown series).
+func (db *DB) Tail(name string, n int) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[name]
+	if !ok {
+		return nil
+	}
+	return s.Tail(n)
+}
+
+// Query executes a windowed aggregate against the named series.
+func (db *DB) Query(name string, q Query) (Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[name]
+	if !ok {
+		return Result{}, errNoSeries(name)
+	}
+	return s.Query(q)
+}
+
+type errNoSeries string
+
+func (e errNoSeries) Error() string { return "tsdb: no series " + string(e) }
+
+// Drop removes the named series.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.series, name)
+}
+
+// DropPrefix removes every series whose name starts with prefix (how
+// dmon.Store forgets a node).
+func (db *DB) DropPrefix(prefix string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name := range db.series {
+		if strings.HasPrefix(name, prefix) {
+			delete(db.series, name)
+		}
+	}
+}
+
+// Names lists the series names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.series))
+	for name := range db.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes the store's footprint.
+type Stats struct {
+	Series  int
+	Samples int // retained raw samples
+	Bytes   int // compressed raw bytes across all series
+	Dropped uint64
+}
+
+// Stats returns the current footprint; Bytes/Samples is the achieved
+// compression in bytes per sample (16 raw).
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var st Stats
+	st.Series = len(db.series)
+	for _, s := range db.series {
+		st.Samples += s.Count()
+		st.Bytes += s.Bytes()
+		st.Dropped += s.Dropped()
+	}
+	return st
+}

@@ -1,0 +1,269 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Query
+	}{
+		{"avg loadavg", Query{Agg: AggAvg, Metric: "loadavg"}},
+		{"p95 netbw last 90s", Query{Agg: AggP95, Metric: "netbw", Last: 90 * time.Second}},
+		{"max freemem from 100 to 200", Query{Agg: AggMax, Metric: "freemem", From: 100e9, To: 200e9}},
+		{"min loadavg from 100.5 to 101.5", Query{Agg: AggMin, Metric: "loadavg", From: 100.5e9, To: 101.5e9}},
+		{"sum diskreads last 5m @60s", Query{Agg: AggSum, Metric: "diskreads", Last: 5 * time.Minute, Res: time.Minute}},
+		{"rate netbw @10s", Query{Agg: AggRate, Metric: "netbw", Res: 10 * time.Second}},
+		{"count loadavg @raw", Query{Agg: AggCount, Metric: "loadavg"}},
+		{"avg loadavg from 2003-06-23T00:00:00Z to 2003-06-23T00:01:00Z",
+			Query{Agg: AggAvg, Metric: "loadavg",
+				From: time.Date(2003, 6, 23, 0, 0, 0, 0, time.UTC).UnixNano(),
+				To:   time.Date(2003, 6, 23, 0, 1, 0, 0, time.UTC).UnixNano()}},
+	}
+	for _, c := range cases {
+		got, err := ParseQuery(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseQuery(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	bad := []string{
+		"", "avg", "frobnicate loadavg", "avg loadavg last", "avg loadavg last -5s",
+		"avg loadavg from 200 to 100", "avg loadavg from 1 to 2 extra",
+		"avg loadavg @nope", "avg loadavg @10s @60s", "avg loadavg from x to y",
+	}
+	for _, in := range bad {
+		if _, err := ParseQuery(in); err == nil {
+			t.Fatalf("ParseQuery(%q) accepted", in)
+		}
+	}
+}
+
+// reference computes aggregates naively over the same points.
+func reference(pts []Point, from, to int64) (min, max, sum float64, count int64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.T < from || p.T >= to {
+			continue
+		}
+		count++
+		sum += p.V
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return
+}
+
+func TestQueryAggregatesMatchReference(t *testing.T) {
+	s := NewSeries(Options{ChunkSize: 32})
+	rng := rand.New(rand.NewSource(7))
+	var pts []Point
+	for i := 0; i < 5000; i++ {
+		p := Point{T: int64(i) * sec, V: rng.NormFloat64() * 10}
+		s.Append(p.T, p.V)
+		pts = append(pts, p)
+	}
+	// Windows chosen to hit chunk edges, full coverage, and partial chunks.
+	windows := [][2]int64{
+		{0, 5000 * sec}, {17 * sec, 4311 * sec}, {32 * sec, 64 * sec},
+		{1000 * sec, 1001 * sec}, {999*sec + 1, 1000*sec + 1},
+	}
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		min, max, sum, count := reference(pts, from, to)
+		for _, agg := range []Agg{AggMin, AggMax, AggAvg, AggSum, AggCount} {
+			res, err := s.Query(Query{Agg: agg, From: from, To: to})
+			if err != nil {
+				t.Fatalf("%s over [%d,%d): %v", agg, from, to, err)
+			}
+			var want float64
+			switch agg {
+			case AggMin:
+				want = min
+			case AggMax:
+				want = max
+			case AggSum:
+				want = sum
+			case AggCount:
+				want = float64(count)
+			case AggAvg:
+				want = sum / float64(count)
+			}
+			if math.Abs(res.Value-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%s over [%d,%d) = %g, want %g", agg, from, to, res.Value, want)
+			}
+			if res.Count != count {
+				t.Fatalf("%s count = %d, want %d", agg, res.Count, count)
+			}
+		}
+	}
+}
+
+func TestQueryHalfOpenWindow(t *testing.T) {
+	s := NewSeries(Options{})
+	fill(s, 0, 10)
+	res, err := s.Query(Query{Agg: AggCount, From: 2 * sec, To: 5 * sec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [2s, 5s) holds t=2,3,4 — the sample at t=5s is excluded.
+	if res.Count != 3 {
+		t.Fatalf("count over [2s,5s) = %d, want 3", res.Count)
+	}
+}
+
+func TestQueryLastWindow(t *testing.T) {
+	s := NewSeries(Options{})
+	fill(s, 0, 100)
+	res, err := s.Query(Query{Agg: AggAvg, Last: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Newest sample is t=99s/v=99; [to-10s, to) with to=99s+1ns holds
+	// samples 90..99.
+	if res.Count != 10 || res.Value != 94.5 {
+		t.Fatalf("avg last 10s = %g over %d samples, want 94.5 over 10", res.Value, res.Count)
+	}
+}
+
+func TestQueryFullRangeDefault(t *testing.T) {
+	s := NewSeries(Options{})
+	fill(s, 1000*sec, 50)
+	res, err := s.Query(Query{Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 50 || res.From != 1000*sec || res.To != 1049*sec+1 {
+		t.Fatalf("full-range result = %+v", res)
+	}
+}
+
+func TestQueryRate(t *testing.T) {
+	s := NewSeries(Options{})
+	// A counter climbing 5 units/second.
+	for i := 0; i < 100; i++ {
+		s.Append(int64(i)*sec, float64(i*5))
+	}
+	res, err := s.Query(Query{Agg: AggRate, From: 10 * sec, To: 60 * sec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-5) > 1e-9 {
+		t.Fatalf("rate = %g, want 5", res.Value)
+	}
+	one := NewSeries(Options{})
+	one.Append(0, 1)
+	if _, err := one.Query(Query{Agg: AggRate}); err == nil {
+		t.Fatal("rate over one sample succeeded")
+	}
+}
+
+func TestQueryPercentilesExact(t *testing.T) {
+	s := NewSeries(Options{})
+	// Values 1..1000 shuffled in time order but distinct: percentiles are
+	// order statistics regardless of time order of equal-spaced appends.
+	perm := rand.New(rand.NewSource(3)).Perm(1000)
+	for i, v := range perm {
+		s.Append(int64(i)*sec, float64(v+1))
+	}
+	for _, c := range []struct {
+		agg  Agg
+		want float64
+	}{{AggP50, 500}, {AggP95, 950}, {AggP99, 990}} {
+		res, err := s.Query(Query{Agg: c.agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != c.want {
+			t.Fatalf("%s = %g, want %g", c.agg, res.Value, c.want)
+		}
+	}
+}
+
+func TestQueryPercentilesApproximate(t *testing.T) {
+	s := NewSeries(Options{})
+	n := histApproxThreshold * 4
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = rng.Float64() * 100
+		s.Append(int64(i)*sec, vals[i])
+	}
+	sort.Float64s(vals)
+	for _, c := range []struct {
+		agg Agg
+		q   float64
+	}{{AggP50, 0.5}, {AggP95, 0.95}, {AggP99, 0.99}} {
+		res, err := s.Query(Query{Agg: c.agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := vals[int(math.Ceil(c.q*float64(n)))-1]
+		// Histogram approximation: within one bin width of the exact value.
+		if math.Abs(res.Value-exact) > 100.0/histBins+1e-9 {
+			t.Fatalf("%s = %g, exact %g (diff %g beyond bin width)", c.agg, res.Value, exact, res.Value-exact)
+		}
+	}
+}
+
+func TestQueryTierAggregates(t *testing.T) {
+	s := NewSeries(Options{Tiers: []TierSpec{{Interval: 10 * time.Second}}})
+	fill(s, 0, 100) // values 0..99
+	res, err := s.Query(Query{Agg: AggAvg, From: 0, To: 100 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 49.5 || res.Count != 100 {
+		t.Fatalf("tier avg = %g over %d, want 49.5 over 100", res.Value, res.Count)
+	}
+	mx, err := s.Query(Query{Agg: AggMax, From: 0, To: 30 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Value != 29 {
+		t.Fatalf("tier max over first 3 buckets = %g, want 29", mx.Value)
+	}
+	if _, err := s.Query(Query{Agg: AggP95, Res: 10 * time.Second}); err == nil {
+		t.Fatal("tier percentile succeeded")
+	}
+	if _, err := s.Query(Query{Agg: AggAvg, Res: 7 * time.Second}); err == nil {
+		t.Fatal("query on missing tier succeeded")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := Result{Agg: AggAvg, From: 100e9, To: 160e9, Count: 60, Value: 1.52}
+	out := r.Render()
+	for _, want := range []string{"agg avg\n", "value 1.52\n", "samples 60\n", "from 100.000\n", "to 160.000\n", "resolution raw\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render() = %q, missing %q", out, want)
+		}
+	}
+	r.Res = time.Minute
+	if !strings.Contains(r.Render(), "resolution 1m0s") {
+		t.Fatalf("Render() = %q, missing tier resolution", r.Render())
+	}
+}
+
+func TestQueryEmptyWindows(t *testing.T) {
+	s := NewSeries(Options{})
+	if _, err := s.Query(Query{Agg: AggAvg}); err == nil {
+		t.Fatal("full-range query on empty series succeeded")
+	}
+	fill(s, 0, 10)
+	if _, err := s.Query(Query{Agg: AggAvg, From: 100 * sec, To: 200 * sec}); err == nil {
+		t.Fatal("query over empty window succeeded")
+	}
+}

@@ -1,0 +1,324 @@
+package tsdb
+
+import "time"
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultChunkSize is how many samples a chunk holds before it is
+	// sealed behind a fresh head chunk.
+	DefaultChunkSize = 256
+)
+
+// TierSpec describes one downsampling tier: samples are folded into
+// buckets of Interval width, and closed buckets older than Retention
+// (relative to the newest appended sample) are evicted. Zero Retention
+// keeps buckets forever.
+type TierSpec struct {
+	Interval  time.Duration
+	Retention time.Duration
+}
+
+// DefaultTiers returns the standard raw → 10s → 60s ladder, with tier
+// retention scaled from the raw retention (6× and 24×; unbounded tiers
+// when the raw retention is unbounded).
+func DefaultTiers(rawRetention time.Duration) []TierSpec {
+	scale := func(m time.Duration) time.Duration {
+		if rawRetention <= 0 {
+			return 0
+		}
+		return rawRetention * m
+	}
+	return []TierSpec{
+		{Interval: 10 * time.Second, Retention: scale(6)},
+		{Interval: time.Minute, Retention: scale(24)},
+	}
+}
+
+// Options configures a Series (and, via DB, every series it creates).
+type Options struct {
+	// ChunkSize is the number of samples per sealed chunk
+	// (DefaultChunkSize when zero).
+	ChunkSize int
+	// Retention bounds how far raw history reaches behind the newest
+	// appended sample. Eviction is whole-chunk: a sealed chunk is dropped
+	// once its newest sample falls outside the window. Zero keeps all
+	// raw samples forever.
+	Retention time.Duration
+	// Tiers are the downsampling resolutions maintained alongside raw
+	// samples. Nil means no tiers; use DefaultTiers for the standard
+	// ladder.
+	Tiers []TierSpec
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	return o
+}
+
+// Bucket is one closed (or in-progress) downsample bucket covering
+// [Start, Start+Interval).
+type Bucket struct {
+	Start       int64
+	Count       int64
+	First, Last float64
+	Min, Max    float64
+	Sum         float64
+}
+
+func newBucket(start int64, v float64) Bucket {
+	return Bucket{Start: start, Count: 1, First: v, Last: v, Min: v, Max: v, Sum: v}
+}
+
+func (b *Bucket) observe(v float64) {
+	b.Count++
+	b.Last = v
+	if v < b.Min {
+		b.Min = v
+	}
+	if v > b.Max {
+		b.Max = v
+	}
+	b.Sum += v
+}
+
+// tier maintains one downsampling resolution. Buckets close when an
+// append crosses the bucket boundary — purely timestamp-driven, so tier
+// contents are a deterministic function of the appended samples.
+type tier struct {
+	interval  int64 // ns
+	retention int64 // ns; 0 = unbounded
+	buckets   []Bucket
+	cur       Bucket
+	curSet    bool
+}
+
+func bucketStart(t, interval int64) int64 {
+	r := t % interval
+	if r < 0 {
+		r += interval
+	}
+	return t - r
+}
+
+func (tr *tier) observe(t int64, v float64) {
+	start := bucketStart(t, tr.interval)
+	if tr.curSet && start == tr.cur.Start {
+		tr.cur.observe(v)
+		return
+	}
+	if tr.curSet {
+		tr.buckets = append(tr.buckets, tr.cur)
+	}
+	tr.cur = newBucket(start, v)
+	tr.curSet = true
+	tr.evict(t)
+}
+
+func (tr *tier) evict(now int64) {
+	if tr.retention <= 0 {
+		return
+	}
+	cutoff := now - tr.retention
+	i := 0
+	for i < len(tr.buckets) && tr.buckets[i].Start+tr.interval <= cutoff {
+		i++
+	}
+	if i > 0 {
+		tr.buckets = append(tr.buckets[:0:0], tr.buckets[i:]...)
+	}
+}
+
+// all returns closed buckets plus the in-progress one, ascending by Start.
+func (tr *tier) all() []Bucket {
+	out := make([]Bucket, 0, len(tr.buckets)+1)
+	out = append(out, tr.buckets...)
+	if tr.curSet {
+		out = append(out, tr.cur)
+	}
+	return out
+}
+
+// Series is the compressed history of one metric: sealed chunks in time
+// order behind a mutable head chunk, plus the downsampling tiers. A Series
+// is not safe for concurrent use on its own; DB (and dmon.Store) serialize
+// access.
+type Series struct {
+	opts   Options
+	sealed []*Chunk
+	head   *Chunk
+	tiers  []*tier
+
+	count   int    // retained raw samples across all chunks
+	dropped uint64 // appends rejected for non-increasing timestamps
+}
+
+// NewSeries returns an empty series with the given options.
+func NewSeries(opts Options) *Series {
+	opts = opts.withDefaults()
+	s := &Series{opts: opts, head: &Chunk{}}
+	for _, spec := range opts.Tiers {
+		if spec.Interval <= 0 {
+			continue
+		}
+		s.tiers = append(s.tiers, &tier{
+			interval:  spec.Interval.Nanoseconds(),
+			retention: spec.Retention.Nanoseconds(),
+		})
+	}
+	return s
+}
+
+// Append adds a sample. Timestamps must be strictly increasing; a sample
+// at or before the newest retained timestamp is dropped (counted in
+// Dropped) so replayed or reordered reports cannot duplicate history.
+func (s *Series) Append(t int64, v float64) bool {
+	if s.count > 0 && t <= s.lastT() {
+		s.dropped++
+		return false
+	}
+	if s.head.summary.Count >= s.opts.ChunkSize {
+		s.sealed = append(s.sealed, s.head)
+		s.head = &Chunk{}
+	}
+	s.head.Append(t, v)
+	s.count++
+	for _, tr := range s.tiers {
+		tr.observe(t, v)
+	}
+	s.evict(t)
+	return true
+}
+
+func (s *Series) lastT() int64 {
+	if s.head.summary.Count > 0 {
+		return s.head.summary.TMax
+	}
+	if n := len(s.sealed); n > 0 {
+		return s.sealed[n-1].summary.TMax
+	}
+	return 0
+}
+
+func (s *Series) firstT() int64 {
+	if len(s.sealed) > 0 {
+		return s.sealed[0].summary.TMin
+	}
+	return s.head.summary.TMin
+}
+
+// evict drops sealed chunks entirely outside the retention window ending
+// at now (the newest appended timestamp).
+func (s *Series) evict(now int64) {
+	ret := s.opts.Retention.Nanoseconds()
+	if ret <= 0 {
+		return
+	}
+	cutoff := now - ret
+	i := 0
+	for i < len(s.sealed) && s.sealed[i].summary.TMax < cutoff {
+		s.count -= s.sealed[i].summary.Count
+		i++
+	}
+	if i > 0 {
+		s.sealed = append(s.sealed[:0:0], s.sealed[i:]...)
+	}
+}
+
+// Count returns the number of retained raw samples.
+func (s *Series) Count() int { return s.count }
+
+// Dropped returns how many appends were rejected as non-increasing.
+func (s *Series) Dropped() uint64 { return s.dropped }
+
+// Bytes returns the compressed size of all retained raw chunks.
+func (s *Series) Bytes() int {
+	n := s.head.Bytes()
+	for _, c := range s.sealed {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// chunks returns the retained chunks in time order, head last (skipping an
+// empty head).
+func (s *Series) chunks() []*Chunk {
+	out := make([]*Chunk, 0, len(s.sealed)+1)
+	out = append(out, s.sealed...)
+	if s.head.summary.Count > 0 {
+		out = append(out, s.head)
+	}
+	return out
+}
+
+// Tail returns the newest n retained samples, oldest first (all retained
+// samples when n <= 0 or n exceeds the count).
+func (s *Series) Tail(n int) []Point {
+	if n <= 0 || n > s.count {
+		n = s.count
+	}
+	if n == 0 {
+		return nil
+	}
+	chunks := s.chunks()
+	// Find the first chunk we need, counting samples from the end.
+	need := n
+	start := len(chunks)
+	for start > 0 && need > 0 {
+		start--
+		need -= chunks[start].summary.Count
+	}
+	out := make([]Point, 0, n-need) // need <= 0: -need extra decoded samples
+	for _, c := range chunks[start:] {
+		it := c.Iter()
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			out = append(out, p)
+		}
+	}
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Scan calls fn for every retained sample with from <= t < to, in time
+// order. Chunks wholly outside the window are skipped without decoding.
+func (s *Series) Scan(from, to int64, fn func(p Point)) {
+	for _, c := range s.chunks() {
+		sum := c.summary
+		if sum.TMax < from || sum.TMin >= to {
+			continue
+		}
+		it := c.Iter()
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			if p.T >= to {
+				break
+			}
+			if p.T >= from {
+				fn(p)
+			}
+		}
+	}
+}
+
+// Buckets returns the downsample buckets of the tier with the given
+// interval (closed buckets plus the in-progress one), or nil if no such
+// tier is configured.
+func (s *Series) Buckets(interval time.Duration) []Bucket {
+	for _, tr := range s.tiers {
+		if tr.interval == interval.Nanoseconds() {
+			return tr.all()
+		}
+	}
+	return nil
+}
+
+// TierIntervals lists the configured tier resolutions in order.
+func (s *Series) TierIntervals() []time.Duration {
+	out := make([]time.Duration, len(s.tiers))
+	for i, tr := range s.tiers {
+		out[i] = time.Duration(tr.interval)
+	}
+	return out
+}
