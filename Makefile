@@ -22,8 +22,11 @@ check: vet race
 figures:
 	$(GO) run ./cmd/figures
 
-# bench runs the tsdb benchmarks (bounded so the target stays quick) and
-# records machine-readable results in BENCH_tsdb.json via cmd/benchjson.
+# bench runs the tsdb and kecho fan-out benchmarks (bounded so the target
+# stays quick) and records machine-readable results in BENCH_tsdb.json and
+# BENCH_kecho.json via cmd/benchjson.
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json
+	$(GO) test -run '^$$' -bench '^BenchmarkSubmitFanout' -benchmem -benchtime 100x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_kecho.json

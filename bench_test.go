@@ -15,6 +15,7 @@ import (
 	"dproc/internal/core"
 	"dproc/internal/dmon"
 	"dproc/internal/ecode"
+	"dproc/internal/faultnet"
 	"dproc/internal/figures"
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
@@ -784,4 +785,79 @@ func BenchmarkLinpack(b *testing.B) {
 		mflops = res.Mflops
 	}
 	b.ReportMetric(mflops, "Mflops")
+}
+
+// benchFanoutMesh builds a kecho mesh of one publisher and peers
+// subscribers over the fault fabric, returning the publisher channel and
+// the fabric (for scripting a stall).
+func benchFanoutMesh(b *testing.B, peers int) (*kecho.Channel, *faultnet.Fabric) {
+	b.Helper()
+	f := faultnet.NewFabric(20030623)
+	reg, err := registry.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { reg.Close() })
+	join := func(id string) *kecho.Channel {
+		cli := registry.NewClient(reg.Addr())
+		cli.SetTransport(f.Host(id))
+		b.Cleanup(func() { cli.Close() })
+		ch, err := kecho.Join(cli, "bench", id, &kecho.Options{
+			Transport:        f.Host(id),
+			WriteDeadline:    2 * time.Second,
+			DisableReconnect: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ch.Close() })
+		return ch
+	}
+	// Subscribers are never polled: their inboxes overflow and drop, which
+	// is fine — the benchmark measures the publisher side only.
+	subs := make([]*kecho.Channel, peers)
+	for i := range subs {
+		subs[i] = join(fmt.Sprintf("sub%d", i))
+	}
+	pub := join("pub")
+	if !pub.WaitForPeers(peers, 5*time.Second) {
+		b.Fatalf("publisher connected to %d peers, want %d", len(pub.Peers()), peers)
+	}
+	return pub, f
+}
+
+// BenchmarkSubmitFanout measures the publisher-side cost of one Submit to an
+// 8-peer channel — the hot path under the paper's Figs. 6-7 overhead claim.
+// The stalled variant scripts one wedged subscriber through faultnet; with
+// async per-peer fan-out its cost must stay within the same order as the
+// all-healthy case (the pre-fix cost was one write deadline per Submit).
+func BenchmarkSubmitFanout(b *testing.B) {
+	const peers = 8
+	payload := make([]byte, 256)
+	b.Run("healthy", func(b *testing.B) {
+		pub, _ := benchFanoutMesh(b, peers)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pub.Submit(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := pub.Stats()
+		b.ReportMetric(float64(s.QueueDrops)/float64(b.N), "queuedrops/op")
+	})
+	b.Run("one-stalled", func(b *testing.B) {
+		pub, f := benchFanoutMesh(b, peers)
+		f.StallWrites("sub0", true)
+		defer f.StallWrites("sub0", false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pub.Submit(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := pub.Stats()
+		b.ReportMetric(float64(s.QueueDrops)/float64(b.N), "queuedrops/op")
+	})
 }

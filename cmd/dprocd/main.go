@@ -42,6 +42,8 @@ func main() {
 		retention    = flag.Duration("retention", 0, "raw history retention per metric (0 = built-in 1h, <0 = unbounded)")
 
 		writeDeadline = flag.Duration("write-deadline", 5*time.Second, "per-peer send deadline (<0 disables)")
+		outbox        = flag.Int("outbox", 0, "per-peer outbound queue size in events (0 = built-in 1024)")
+		maxBatch      = flag.Int("max-batch", 0, "max events coalesced per frame by peer writers (0 = built-in 64, 1 disables)")
 		reconnect     = flag.Duration("reconnect", 250*time.Millisecond, "base interval of the mesh reconnect supervisor")
 		noHeal        = flag.Bool("no-heal", false, "disable the reconnect supervisor and registry heartbeats")
 	)
@@ -55,6 +57,8 @@ func main() {
 		HistoryRetention: *retention,
 		ChannelOptions: &kecho.Options{
 			WriteDeadline:     *writeDeadline,
+			OutboxSize:        *outbox,
+			MaxBatch:          *maxBatch,
 			ReconnectInterval: *reconnect,
 			DisableReconnect:  *noHeal,
 		},

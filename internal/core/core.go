@@ -34,7 +34,9 @@ type Config struct {
 	Source dmon.Source
 	// Padding adds bytes to every monitoring event (evaluation knob).
 	Padding int
-	// ChannelOptions tunes the KECho channels (nil for defaults).
+	// ChannelOptions tunes the KECho channels (nil for defaults), including
+	// the async fan-out knobs: OutboxSize (per-peer outbound queue) and
+	// MaxBatch (events coalesced per frame by the peer writers).
 	ChannelOptions *kecho.Options
 	// HistoryDepth is the default size of the history view served by
 	// cluster/<node>/history/<metric> (dmon.HistoryDepth when zero).

@@ -620,6 +620,8 @@ func (d *DMon) ChannelHealth() []metrics.ChannelHealth {
 			Redials:       s.Redials,
 			Reconnects:    s.Reconnects,
 			DeadlineDrops: s.DeadlineDrops,
+			QueueDrops:    s.QueueDrops,
+			BatchesSent:   s.BatchesSent,
 		})
 	}
 	return out

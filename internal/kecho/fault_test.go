@@ -1,6 +1,8 @@
 package kecho
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -82,14 +84,15 @@ func TestMeshSelfHealsAfterConnKill(t *testing.T) {
 	}
 }
 
-// TestSubmitWriteDeadlineUnblocksHealthyPeers proves the head-of-line fix: a
-// stalled peer costs at most the write deadline and is dropped, while the
-// remaining peers still receive the event.
+// TestSubmitWriteDeadlineUnblocksHealthyPeers proves the head-of-line fix:
+// Submit only enqueues, so a stalled peer costs the publisher nothing; the
+// stalled peer's writer pays the deadline off the Submit path and drops the
+// peer, while the healthy peer still receives the event.
 func TestSubmitWriteDeadlineUnblocksHealthyPeers(t *testing.T) {
 	f := faultnet.NewFabric(3)
 	reg := newRegistry(t)
 	opts := func() *Options {
-		return &Options{WriteDeadline: 40 * time.Millisecond, DisableReconnect: true}
+		return &Options{WriteDeadline: 200 * time.Millisecond, DisableReconnect: true}
 	}
 	// The stalled and healthy receivers join first so the publisher dials
 	// them (fault attribution rides on the dial-side wrapper).
@@ -109,16 +112,155 @@ func TestSubmitWriteDeadlineUnblocksHealthyPeers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	if n != 1 {
-		t.Fatalf("Submit reached %d peers, want 1 (healthy peer only)", n)
+	if n != 2 {
+		t.Fatalf("Submit enqueued to %d peers, want 2", n)
 	}
-	if elapsed > 2*time.Second {
+	if elapsed > 100*time.Millisecond {
 		t.Fatalf("Submit blocked %v on the stalled peer", elapsed)
 	}
-	if d := a.Stats().DeadlineDrops; d < 1 {
-		t.Fatalf("DeadlineDrops = %d, want >= 1", d)
-	}
 	waitForEvents(t, c, &gotC, 1)
+	// The stalled peer's writer hits the deadline and drops the peer.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().DeadlineDrops < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DeadlineDrops = %d, want >= 1", a.Stats().DeadlineDrops)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStalledPeerSubmitLatencyBounded is the headline publisher-side bound:
+// with one of 8 peers stalled, 100 Submit calls complete in a small fraction
+// of one write deadline (the pre-fix worst case was ~100 deadlines) and the
+// healthy peers still receive every event. The default outbox (1024) absorbs
+// the whole burst, so delivery to healthy peers is deterministic.
+func TestStalledPeerSubmitLatencyBounded(t *testing.T) {
+	const peers = 8
+	const events = 100
+	f := faultnet.NewFabric(17)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 2 * time.Second, DisableReconnect: true}
+	}
+	subs := make([]*Channel, peers)
+	counts := make([]atomic.Int64, peers)
+	for i := 0; i < peers; i++ {
+		name := fmt.Sprintf("maui%d", i)
+		subs[i], _ = joinFault(t, f, reg.Addr(), "mon", name, opts())
+		idx := i
+		subs[i].Subscribe(func(Event) { counts[idx].Add(1) })
+	}
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(peers, 2*time.Second) {
+		t.Fatalf("publisher connected to %v, want %d peers", a.Peers(), peers)
+	}
+
+	f.StallWrites("maui0", true)
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		if n, err := a.Submit([]byte("fanout")); err != nil || n != peers {
+			t.Fatalf("Submit #%d = (%d, %v), want (%d, nil)", i, n, err, peers)
+		}
+	}
+	elapsed := time.Since(start)
+	// Well under one WriteDeadline total — the pre-fix cost was up to
+	// events x deadline.
+	if elapsed > time.Second {
+		t.Fatalf("100 Submits took %v with a stalled peer, want << 2s", elapsed)
+	}
+	// Every healthy peer receives the full stream.
+	for i := 1; i < peers; i++ {
+		waitForEvents(t, subs[i], &counts[i], events)
+	}
+}
+
+// TestStalledPeerOutboxOverflowCounts pins the drop policy: a peer stalled
+// for longer than its bounded outbox can absorb loses events, counted in
+// QueueDrops, and the publisher stays unblocked throughout. The writer can
+// hold at most MaxBatch events in its in-flight batch plus OutboxSize in the
+// queue, so OutboxSize+MaxBatch+2 submits guarantee at least one overflow.
+func TestStalledPeerOutboxOverflowCounts(t *testing.T) {
+	f := faultnet.NewFabric(29)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{
+			WriteDeadline:    5 * time.Second,
+			OutboxSize:       16,
+			MaxBatch:         4,
+			DisableReconnect: true,
+		}
+	}
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	f.StallWrites("maui", true)
+	sawOverflow := false
+	for i := 0; i < 16+4+2; i++ {
+		n, err := a.Submit([]byte("overflow"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Fatal("every Submit was accepted despite a 16-slot outbox and a stalled writer")
+	}
+	if d := a.Stats().QueueDrops; d < 1 {
+		t.Fatalf("QueueDrops = %d, want >= 1", d)
+	}
+	f.StallWrites("maui", false)
+}
+
+// TestWriterCoalescesBatches holds a peer's writer in a stalled write while
+// the publisher queues a burst, then releases the stall: the writer must
+// coalesce the queued backlog into batch frames, and the subscriber must see
+// the full stream in order.
+func TestWriterCoalescesBatches(t *testing.T) {
+	const events = 20
+	f := faultnet.NewFabric(23)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 5 * time.Second, DisableReconnect: true}
+	}
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var mu sync.Mutex
+	var seqs []uint64
+	var got atomic.Int64
+	b.Subscribe(func(ev Event) {
+		mu.Lock()
+		seqs = append(seqs, ev.Seq)
+		mu.Unlock()
+		got.Add(1)
+	})
+
+	// Stall the writer mid-write; the remaining events pile into the outbox.
+	f.StallWrites("maui", true)
+	for i := 0; i < events; i++ {
+		if _, err := a.Submit([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.StallWrites("maui", false)
+
+	waitForEvents(t, b, &got, events)
+	if s := a.Stats(); s.BatchesSent < 1 {
+		t.Fatalf("BatchesSent = %d, want >= 1 after a stalled burst", s.BatchesSent)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs = %v, want 1..%d in order (batching must preserve order)", seqs, events)
+		}
+	}
 }
 
 // TestPartitionHealRoundTrip cuts the fabric into two groups, observes the

@@ -11,12 +11,17 @@
 // (handler runs on the receiving goroutine) is available for the
 // poll-versus-immediate ablation.
 //
-// The channel is self-healing: joins tolerate unreachable peers, every send
-// is bounded by a write deadline so one stalled subscriber cannot block the
-// rest of the fan-out, and a per-channel reconnect supervisor heartbeats the
-// registry and re-dials missing peers with exponential backoff and jitter,
-// so the mesh converges again after peer crashes, partitions, or a registry
-// restart without any manual RefreshPeers call.
+// Publishing is asynchronous: Submit enqueues the event on each peer's
+// bounded outbound queue and returns, and a dedicated writer goroutine per
+// peer drains the queue — coalescing bursts into batch frames — so a
+// stalled subscriber costs the publisher an enqueue (and eventually a
+// counted queue-overflow drop) rather than a write deadline. The channel is
+// also self-healing: joins tolerate unreachable peers, each writer bounds
+// its frame writes with a deadline and drops peers that exceed it, and a
+// per-channel reconnect supervisor heartbeats the registry and re-dials
+// missing peers with exponential backoff and jitter, so the mesh converges
+// again after peer crashes, partitions, or a registry restart without any
+// manual RefreshPeers call.
 package kecho
 
 import (
@@ -56,6 +61,10 @@ func (tcpTransport) DialTimeout(network, address string, timeout time.Duration) 
 const (
 	frameHello uint8 = iota + 1
 	frameEvent
+	// frameBatch carries several coalesced event records in one frame
+	// (wire.EncodeBatch); receivers unpack it transparently, so batching is
+	// invisible above the transport.
+	frameBatch
 )
 
 // DispatchMode selects how received events reach handlers.
@@ -86,7 +95,15 @@ type Event struct {
 type Handler func(Event)
 
 // Stats counts channel traffic; all fields are cumulative.
+//
+// BytesSent and BytesRecv both count event *payload* bytes — the opaque
+// body handed to Submit — excluding the envelope (publisher ID, sequence
+// number) and frame/batch framing, so a loopback pair's sent and received
+// counters agree regardless of how the transport packs frames.
 type Stats struct {
+	// EventsSent counts events accepted into peer outboxes (one per peer
+	// per Submit); enqueue-time accounting, so delivery failures after the
+	// enqueue surface in QueueDrops and DeadlineDrops, not here.
 	EventsSent uint64
 	EventsRecv uint64
 	BytesSent  uint64
@@ -103,6 +120,13 @@ type Stats struct {
 	// DeadlineDrops counts sends aborted because the peer did not accept the
 	// frame within the write deadline (slow or wedged subscriber).
 	DeadlineDrops uint64
+	// QueueDrops counts events discarded because a peer's outbound queue was
+	// full — the bounded-buffer answer to a subscriber stalled longer than
+	// the queue can absorb.
+	QueueDrops uint64
+	// BatchesSent counts multi-event frames written: wake-ups where a writer
+	// found more than one event queued and coalesced them into one frame.
+	BatchesSent uint64
 }
 
 // Options tunes channel behaviour; the zero value gives a polled channel
@@ -119,6 +143,14 @@ type Options struct {
 	// WriteDeadline bounds each frame write to a peer, so one stalled peer
 	// cannot head-of-line-block the fan-out; 0 means 5s, negative disables.
 	WriteDeadline time.Duration
+	// OutboxSize bounds each peer's outbound event queue, drained by that
+	// peer's writer goroutine; 0 means 1024. A Submit to a peer whose queue
+	// is full drops the event for that peer (counted in Stats.QueueDrops)
+	// instead of blocking the publisher.
+	OutboxSize int
+	// MaxBatch caps how many queued events a writer coalesces into one batch
+	// frame per wake-up; 0 means 64, 1 disables batching.
+	MaxBatch int
 	// ReconnectInterval is the supervisor's base pace for heartbeating the
 	// registry and re-dialing missing peers; 0 means 250ms.
 	ReconnectInterval time.Duration
@@ -136,6 +168,8 @@ type Options struct {
 // Option defaults; see Options.
 const (
 	defaultInboxSize         = 4096
+	defaultOutboxSize        = 1024
+	defaultMaxBatch          = 64
 	defaultDialTimeout       = 2 * time.Second
 	defaultWriteDeadline     = 5 * time.Second
 	defaultReconnectInterval = 250 * time.Millisecond
@@ -155,6 +189,8 @@ type Channel struct {
 	// Resolved option values (defaults applied).
 	dialTimeout   time.Duration
 	writeDeadline time.Duration
+	outboxSize    int
+	maxBatch      int
 
 	mu       sync.Mutex
 	peers    map[string]*peer
@@ -174,6 +210,8 @@ type Channel struct {
 	redials       atomic.Uint64
 	reconnects    atomic.Uint64
 	deadlineDrops atomic.Uint64
+	queueDrops    atomic.Uint64
+	batchesSent   atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -182,6 +220,23 @@ type peer struct {
 	id   string
 	conn net.Conn
 	wmu  sync.Mutex
+	// outbox queues encoded event records (publisher ID, seq, payload) for
+	// the peer's writer goroutine; Submit enqueues without blocking and
+	// never closes it.
+	outbox chan []byte
+	// dead is closed exactly once when the peer is torn down, waking an
+	// idle writer so it can exit.
+	dead     chan struct{}
+	downOnce sync.Once
+}
+
+// close tears the peer down: closes the connection and wakes the writer.
+// Safe to call from any goroutine, any number of times.
+func (p *peer) close() {
+	p.downOnce.Do(func() {
+		close(p.dead)
+		p.conn.Close()
+	})
 }
 
 // send writes one frame to the peer, bounded by deadline (<= 0 disables).
@@ -250,6 +305,14 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	if c.writeDeadline == 0 {
 		c.writeDeadline = defaultWriteDeadline
 	}
+	c.outboxSize = opts.OutboxSize
+	if c.outboxSize <= 0 {
+		c.outboxSize = defaultOutboxSize
+	}
+	c.maxBatch = opts.MaxBatch
+	if c.maxBatch <= 0 {
+		c.maxBatch = defaultMaxBatch
+	}
 	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
 	if err != nil {
 		ln.Close()
@@ -312,6 +375,18 @@ func (c *Channel) Stats() Stats {
 		Redials:       c.redials.Load(),
 		Reconnects:    c.reconnects.Load(),
 		DeadlineDrops: c.deadlineDrops.Load(),
+		QueueDrops:    c.queueDrops.Load(),
+		BatchesSent:   c.batchesSent.Load(),
+	}
+}
+
+// newPeer wraps conn as a peer with an empty outbound queue.
+func (c *Channel) newPeer(id string, conn net.Conn) *peer {
+	return &peer{
+		id:     id,
+		conn:   conn,
+		outbox: make(chan []byte, c.outboxSize),
+		dead:   make(chan struct{}),
 	}
 }
 
@@ -320,7 +395,7 @@ func (c *Channel) dialPeer(m registry.Member) error {
 	if err != nil {
 		return err
 	}
-	p := &peer{id: m.ID, conn: conn}
+	p := c.newPeer(m.ID, conn)
 	hello := wire.NewEncoder(64)
 	hello.String(c.name)
 	hello.String(c.id)
@@ -332,22 +407,23 @@ func (c *Channel) dialPeer(m registry.Member) error {
 	return nil
 }
 
-// addPeer registers p and starts its read loop, replacing (and closing) any
-// previous connection with the same peer ID.
+// addPeer registers p and starts its read and write loops, replacing (and
+// closing) any previous connection with the same peer ID.
 func (c *Channel) addPeer(p *peer) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		p.conn.Close()
+		p.close()
 		return
 	}
 	if old, ok := c.peers[p.id]; ok {
-		old.conn.Close()
+		old.close()
 	}
 	c.peers[p.id] = p
 	c.mu.Unlock()
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go c.readLoop(p)
+	go c.writeLoop(p)
 }
 
 func (c *Channel) removePeer(p *peer) {
@@ -356,7 +432,7 @@ func (c *Channel) removePeer(p *peer) {
 		delete(c.peers, p.id)
 	}
 	c.mu.Unlock()
-	p.conn.Close()
+	p.close()
 }
 
 func (c *Channel) acceptLoop() {
@@ -379,7 +455,7 @@ func (c *Channel) acceptLoop() {
 			conn.Close()
 			continue
 		}
-		c.addPeer(&peer{id: peerID, conn: conn})
+		c.addPeer(c.newPeer(peerID, conn))
 	}
 }
 
@@ -391,30 +467,90 @@ func (c *Channel) readLoop(p *peer) {
 		if err != nil {
 			return
 		}
-		if typ != frameEvent {
-			continue
+		switch typ {
+		case frameEvent:
+			c.receiveEvent(payload)
+		case frameBatch:
+			// Unpack transparently: consumers see the same event stream
+			// whether or not the sender's writer coalesced.
+			records, err := wire.DecodeBatch(payload)
+			if err != nil {
+				continue
+			}
+			for _, rec := range records {
+				c.receiveEvent(rec)
+			}
 		}
-		d := wire.NewDecoder(payload)
-		ev := Event{
-			Channel: c.name,
-			From:    d.String(),
-			Seq:     d.Uint64(),
-			Payload: d.BytesField(),
-			Recv:    time.Now(),
-		}
-		if d.Finish() != nil {
-			continue
-		}
-		c.eventsRecv.Add(1)
-		c.bytesRecv.Add(uint64(len(payload)))
-		if c.opts.Dispatch == Immediate {
-			c.dispatch(ev)
-			continue
-		}
+	}
+}
+
+// receiveEvent decodes one event record and delivers it (inbox or immediate
+// dispatch, per the channel's mode).
+func (c *Channel) receiveEvent(record []byte) {
+	d := wire.NewDecoder(record)
+	ev := Event{
+		Channel: c.name,
+		From:    d.String(),
+		Seq:     d.Uint64(),
+		Payload: d.BytesField(),
+		Recv:    time.Now(),
+	}
+	if d.Finish() != nil {
+		return
+	}
+	c.eventsRecv.Add(1)
+	c.bytesRecv.Add(uint64(len(ev.Payload)))
+	if c.opts.Dispatch == Immediate {
+		c.dispatch(ev)
+		return
+	}
+	select {
+	case c.inbox <- ev:
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// writeLoop is peer p's dedicated writer: it drains the outbox, coalescing
+// up to maxBatch queued events into one batch frame per wake-up, and tears
+// the peer down on any write failure. A stalled subscriber therefore costs
+// the publisher an enqueue; the deadline is paid here, off the Submit path.
+func (c *Channel) writeLoop(p *peer) {
+	defer c.wg.Done()
+	batch := make([][]byte, 0, c.maxBatch)
+	for {
+		var first []byte
 		select {
-		case c.inbox <- ev:
-		default:
-			c.dropped.Add(1)
+		case first = <-p.outbox:
+		case <-p.dead:
+			return
+		}
+		batch = append(batch[:0], first)
+		// Coalesce whatever else queued while we were away (or writing).
+	coalesce:
+		for len(batch) < c.maxBatch {
+			select {
+			case rec := <-p.outbox:
+				batch = append(batch, rec)
+			default:
+				break coalesce
+			}
+		}
+		var err error
+		if len(batch) == 1 {
+			err = p.send(frameEvent, batch[0], c.writeDeadline)
+		} else {
+			err = p.send(frameBatch, wire.EncodeBatch(batch), c.writeDeadline)
+			if err == nil {
+				c.batchesSent.Add(1)
+			}
+		}
+		if err != nil {
+			if isTimeout(err) {
+				c.deadlineDrops.Add(1)
+			}
+			c.removePeer(p)
+			return
 		}
 	}
 }
@@ -429,12 +565,15 @@ func (c *Channel) dispatch(ev Event) {
 	}
 }
 
-// Poll drains events queued since the last call and dispatches them to the
-// subscribed handlers, returning the number processed. It mirrors d-mon's
-// per-second socket poll; meaningful only in Polled mode.
+// Poll dispatches the events queued at the moment of the call to the
+// subscribed handlers, returning the number processed. The drain is bounded
+// by a snapshot of the queue length, so a producer that keeps pace with the
+// consumer cannot live-lock the caller's poll tick: events arriving during
+// the drain wait for the next Poll. It mirrors d-mon's per-second socket
+// poll; meaningful only in Polled mode.
 func (c *Channel) Poll() int {
 	n := 0
-	for {
+	for max := len(c.inbox); n < max; {
 		select {
 		case ev := <-c.inbox:
 			c.dispatch(ev)
@@ -443,6 +582,7 @@ func (c *Channel) Poll() int {
 			return n
 		}
 	}
+	return n
 }
 
 // Pending reports how many events are queued awaiting Poll.
@@ -457,10 +597,14 @@ func (c *Channel) encodeEvent(payload []byte) []byte {
 }
 
 // Submit publishes payload to every connected peer and returns how many
-// peers it was delivered to. Each send is bounded by the write deadline, so
-// one peer with a full TCP buffer delays — never blocks — delivery to the
-// peers after it. Peers whose connection fails or whose deadline expires are
-// dropped (the reconnect supervisor will re-dial them if they come back).
+// peers accepted it into their outbound queue. Submit never writes to the
+// network itself: it enqueues the encoded event on each peer's bounded
+// outbox and returns, so a stalled subscriber costs the publisher one
+// enqueue — never a write deadline. Per-peer writer goroutines drain the
+// queues (coalescing bursts into batch frames) and drop peers whose writes
+// fail or time out (the reconnect supervisor re-dials them if they come
+// back). A peer whose outbox is full misses this event, counted in
+// Stats.QueueDrops.
 func (c *Channel) Submit(payload []byte) (int, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -475,22 +619,21 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 	frame := c.encodeEvent(payload)
 	sent := 0
 	for _, p := range peers {
-		if err := p.send(frameEvent, frame, c.writeDeadline); err != nil {
-			if isTimeout(err) {
-				c.deadlineDrops.Add(1)
-			}
-			c.removePeer(p)
-			continue
+		select {
+		case p.outbox <- frame:
+			sent++
+		default:
+			c.queueDrops.Add(1)
 		}
-		sent++
 	}
 	c.eventsSent.Add(uint64(sent))
-	c.bytesSent.Add(uint64(sent * len(frame)))
+	c.bytesSent.Add(uint64(sent * len(payload)))
 	return sent, nil
 }
 
 // SubmitTo publishes payload to a single peer, used for targeted control
-// messages (e.g. deploying a filter on one node).
+// messages (e.g. deploying a filter on one node). Like Submit it only
+// enqueues; an overflowing outbox drops the event and returns an error.
 func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	c.mu.Lock()
 	p, ok := c.peers[peerID]
@@ -502,16 +645,14 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
-	frame := c.encodeEvent(payload)
-	if err := p.send(frameEvent, frame, c.writeDeadline); err != nil {
-		if isTimeout(err) {
-			c.deadlineDrops.Add(1)
-		}
-		c.removePeer(p)
-		return err
+	select {
+	case p.outbox <- c.encodeEvent(payload):
+	default:
+		c.queueDrops.Add(1)
+		return fmt.Errorf("kecho: outbox full for peer %q on channel %q", peerID, c.name)
 	}
 	c.eventsSent.Add(1)
-	c.bytesSent.Add(uint64(len(frame)))
+	c.bytesSent.Add(uint64(len(payload)))
 	return nil
 }
 
@@ -668,7 +809,7 @@ func (c *Channel) Close() error {
 	close(c.stop)
 	err := c.ln.Close()
 	for _, p := range peers {
-		p.conn.Close()
+		p.close()
 	}
 	c.wg.Wait()
 	_ = c.reg.Leave(c.name, c.id)

@@ -252,6 +252,61 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+// TestByteAccountingSymmetric pins the sent/recv convention: both sides
+// count event payload bytes, so a loopback pair's counters agree exactly —
+// regardless of envelope size or whether the transport batched frames.
+func TestByteAccountingSymmetric(t *testing.T) {
+	reg := newRegistry(t)
+	a := join(t, reg, "mon", "a", nil)
+	b := join(t, reg, "mon", "b", nil)
+	a.WaitForPeers(1, time.Second)
+	b.WaitForPeers(1, time.Second)
+
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+	var want uint64
+	for _, size := range []int{0, 1, 37, 4096} {
+		if _, err := a.Submit(make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+		want += uint64(size)
+	}
+	waitForEvents(t, b, &got, 4)
+	as, bs := a.Stats(), b.Stats()
+	if as.BytesSent != want {
+		t.Fatalf("BytesSent = %d, want %d (payload bytes)", as.BytesSent, want)
+	}
+	if bs.BytesRecv != as.BytesSent {
+		t.Fatalf("BytesRecv = %d != BytesSent = %d", bs.BytesRecv, as.BytesSent)
+	}
+}
+
+// TestPollBoundedDrain pins the live-lock fix: Poll drains at most the
+// events queued at call time, so a handler that keeps refilling the inbox
+// (a producer keeping pace with the consumer) cannot trap the poll tick.
+func TestPollBoundedDrain(t *testing.T) {
+	reg := newRegistry(t)
+	b := join(t, reg, "mon", "b", nil)
+	// A pathological consumer: every dispatched event enqueues another, so
+	// an unbounded drain would never see an empty inbox.
+	b.Subscribe(func(ev Event) {
+		select {
+		case b.inbox <- Event{Channel: ev.Channel, From: "self", Payload: ev.Payload}:
+		default:
+		}
+	})
+	const preload = 5
+	for i := 0; i < preload; i++ {
+		b.inbox <- Event{Channel: "mon", From: "seed", Payload: []byte{byte(i)}}
+	}
+	if n := b.Poll(); n != preload {
+		t.Fatalf("Poll = %d, want exactly the %d events queued at call time", n, preload)
+	}
+	if p := b.Pending(); p != preload {
+		t.Fatalf("Pending = %d after Poll, want %d refilled events", p, preload)
+	}
+}
+
 func TestInboxOverflowDropsAndCounts(t *testing.T) {
 	reg := newRegistry(t)
 	a := join(t, reg, "mon", "a", nil)

@@ -29,6 +29,12 @@ type ChannelHealth struct {
 	Reconnects uint64
 	// DeadlineDrops counts sends aborted by the per-peer write deadline.
 	DeadlineDrops uint64
+	// QueueDrops counts events dropped because a peer's outbound queue
+	// overflowed (a subscriber stalled longer than the queue absorbs).
+	QueueDrops uint64
+	// BatchesSent counts coalesced multi-event frames written by the
+	// per-peer writers.
+	BatchesSent uint64
 }
 
 // RegistryHealth is the node's registry-client recovery snapshot.
@@ -67,6 +73,8 @@ func (h *Health) Render() string {
 		fmt.Fprintf(&sb, "channel %s redials %d\n", ch.Name, ch.Redials)
 		fmt.Fprintf(&sb, "channel %s reconnects %d\n", ch.Name, ch.Reconnects)
 		fmt.Fprintf(&sb, "channel %s deadline_drops %d\n", ch.Name, ch.DeadlineDrops)
+		fmt.Fprintf(&sb, "channel %s queue_drops %d\n", ch.Name, ch.QueueDrops)
+		fmt.Fprintf(&sb, "channel %s batches_sent %d\n", ch.Name, ch.BatchesSent)
 	}
 	fmt.Fprintf(&sb, "registry dials %d\n", h.Registry.Dials)
 	fmt.Fprintf(&sb, "registry redials %d\n", h.Registry.Redials)

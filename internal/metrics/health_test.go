@@ -9,7 +9,7 @@ func TestHealthRender(t *testing.T) {
 	h := Health{
 		Node: "alan",
 		Channels: []ChannelHealth{
-			{Name: "dproc.monitoring", Peers: 2, Reconnects: 3, DeadlineDrops: 1},
+			{Name: "dproc.monitoring", Peers: 2, Reconnects: 3, DeadlineDrops: 1, QueueDrops: 4, BatchesSent: 7},
 			{Name: "dproc.control", Peers: 2, Reconnects: 1},
 		},
 		Registry: RegistryHealth{Dials: 1, Heartbeats: 9, Rejoins: 2},
@@ -20,6 +20,9 @@ func TestHealthRender(t *testing.T) {
 		"channel dproc.monitoring peers 2\n",
 		"channel dproc.monitoring reconnects 3\n",
 		"channel dproc.monitoring deadline_drops 1\n",
+		"channel dproc.monitoring queue_drops 4\n",
+		"channel dproc.monitoring batches_sent 7\n",
+		"channel dproc.control queue_drops 0\n",
 		"channel dproc.control reconnects 1\n",
 		"registry heartbeats 9\n",
 		"registry rejoins 2\n",

@@ -86,6 +86,11 @@ type Query struct {
 //	avg loadavg last 60s
 //	p95 netbw from 1056326400 to 1056330000
 //	max freemem last 1h @60s
+//
+// Raw-resolution windows are half-open [from, to) over samples. Tier
+// queries (@10s, @60s, …) aggregate whole buckets: the window is widened
+// outward to bucket boundaries, any bucket overlapping it counts entirely,
+// and the result reports the widened window.
 func ParseQuery(text string) (Query, error) {
 	fields := strings.Fields(text)
 	var q Query
@@ -316,8 +321,13 @@ func (s *Series) queryQuantile(quant float64, r Result) (Result, error) {
 	return r, nil
 }
 
-// queryTier answers from a downsampling tier. A bucket belongs to the
-// window when its start lies in [from, to).
+// queryTier answers from a downsampling tier. Tier buckets are indivisible
+// (they retain no per-sample detail), so the window is widened outward to
+// bucket boundaries and a bucket belongs to the query when its span
+// [Start, Start+Res) overlaps [from, to) — both edges are treated
+// symmetrically: a bucket straddling either edge is counted entirely. The
+// resolved window reported in the Result is the widened one, so callers see
+// exactly the range that was aggregated.
 func (s *Series) queryTier(q Query, r Result) (Result, error) {
 	buckets := s.Buckets(q.Res)
 	if buckets == nil {
@@ -331,6 +341,9 @@ func (s *Series) queryTier(q Query, r Result) (Result, error) {
 	if _, ok := q.Agg.quantile(); ok {
 		return r, fmt.Errorf("tsdb: percentiles require raw resolution")
 	}
+	interval := q.Res.Nanoseconds()
+	r.From = bucketStart(r.From, interval)
+	r.To = bucketStart(r.To-1, interval) + interval
 	var agg Bucket
 	var firstB, lastB *Bucket
 	for i := range buckets {

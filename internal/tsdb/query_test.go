@@ -243,6 +243,69 @@ func TestQueryTierAggregates(t *testing.T) {
 	}
 }
 
+// TestQueryTierWindowEdges pins the bucket-inclusion convention at both
+// window edges: tier buckets are indivisible, the window is widened outward
+// to bucket boundaries, and a bucket straddling either edge counts entirely
+// — symmetrically. Samples are 1 s apart with value == second, tier is 10 s.
+func TestQueryTierWindowEdges(t *testing.T) {
+	s := NewSeries(Options{Tiers: []TierSpec{{Interval: 10 * time.Second}}})
+	fill(s, 0, 100) // t = 0..99 s, value = t in seconds
+
+	// [5s, 25s) straddles buckets [0,10) and [20,30) — both edge buckets
+	// count entirely, so the aggregate covers samples 0..29.
+	res, err := s.Query(Query{Agg: AggCount, From: 5 * sec, To: 25 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 30 {
+		t.Fatalf("count over [5s,25s) = %d, want 30 (whole straddled buckets)", res.Count)
+	}
+	// The resolved window reports the widened bucket-aligned range.
+	if res.From != 0 || res.To != 30*sec {
+		t.Fatalf("resolved window = [%d, %d), want [0, %d)", res.From, res.To, 30*sec)
+	}
+	mn, err := s.Query(Query{Agg: AggMin, From: 5 * sec, To: 25 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := s.Query(Query{Agg: AggMax, From: 5 * sec, To: 25 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Value != 0 || mx.Value != 29 {
+		t.Fatalf("min/max over [5s,25s) = %g/%g, want 0/29", mn.Value, mx.Value)
+	}
+
+	// Bucket-aligned windows are untouched: [10s, 30s) is exactly buckets
+	// [10,20) and [20,30).
+	aligned, err := s.Query(Query{Agg: AggCount, From: 10 * sec, To: 30 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.Count != 20 || aligned.From != 10*sec || aligned.To != 30*sec {
+		t.Fatalf("aligned window = %d samples over [%d, %d), want 20 over [%d, %d)",
+			aligned.Count, aligned.From, aligned.To, 10*sec, 30*sec)
+	}
+
+	// Symmetry: a window nudged across the from edge gains the same bucket
+	// a mirror-nudged to edge would — avg over [9s, 21s) and [10s, 22s)
+	// both resolve to whole buckets, never a partial one.
+	left, err := s.Query(Query{Agg: AggAvg, From: 9 * sec, To: 20 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Count != 20 || left.From != 0 {
+		t.Fatalf("from-straddling window kept %d samples from %d, want 20 from 0", left.Count, left.From)
+	}
+	right, err := s.Query(Query{Agg: AggAvg, From: 10 * sec, To: 21 * sec, Res: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if right.Count != 20 || right.To != 30*sec {
+		t.Fatalf("to-straddling window kept %d samples to %d, want 20 to %d", right.Count, right.To, 30*sec)
+	}
+}
+
 func TestResultRender(t *testing.T) {
 	r := Result{Agg: AggAvg, From: 100e9, To: 160e9, Count: 60, Value: 1.52}
 	out := r.Render()

@@ -80,6 +80,50 @@ func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
 	return msgType, payload, nil
 }
 
+// ErrBadBatch reports a malformed batch payload.
+var ErrBadBatch = errors.New("wire: malformed batch payload")
+
+// EncodeBatch packs event payloads into one batch frame payload: a uint32
+// count followed by count length-prefixed payloads. A writer that wakes up
+// with several events queued for the same peer coalesces them into a single
+// frame — one length prefix, one syscall — while preserving their order.
+// Empty and single-event batches are valid.
+func EncodeBatch(events [][]byte) []byte {
+	size := 4
+	for _, ev := range events {
+		size += 4 + len(ev)
+	}
+	e := NewEncoder(size)
+	e.Uint32(uint32(len(events)))
+	for _, ev := range events {
+		e.BytesField(ev)
+	}
+	return e.Bytes()
+}
+
+// DecodeBatch unpacks a batch frame payload into its event payloads, in the
+// order they were encoded. Each returned slice is an independent copy.
+func DecodeBatch(buf []byte) ([][]byte, error) {
+	d := NewDecoder(buf)
+	n := d.Uint32()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBatch, d.Err())
+	}
+	// Each event costs at least its 4-byte length prefix; reject counts the
+	// payload cannot possibly hold before allocating for them.
+	if int64(n)*4 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrBadBatch, n)
+	}
+	events := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		events = append(events, d.BytesField())
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
+	}
+	return events, nil
+}
+
 // Encoder serializes fields into a growable buffer. The zero value is ready
 // to use.
 type Encoder struct {

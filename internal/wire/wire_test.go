@@ -283,3 +283,67 @@ func TestQuickDecoderNoPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},               // empty batch
+		{[]byte("solo")}, // single event
+		{nil},            // single empty event
+		{[]byte("a"), []byte(""), []byte("ccc"), {0xDC, 0x03}}, // mixed
+	}
+	for _, events := range cases {
+		buf := EncodeBatch(events)
+		got, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("DecodeBatch(%d events): %v", len(events), err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("decoded %d events, want %d", len(got), len(events))
+		}
+		for i := range events {
+			if !bytes.Equal(got[i], events[i]) {
+				t.Fatalf("event %d = %q, want %q", i, got[i], events[i])
+			}
+		}
+	}
+}
+
+// A decoded batch event must stay valid independently of the batch buffer.
+func TestBatchEventsAreCopies(t *testing.T) {
+	buf := EncodeBatch([][]byte{[]byte("keep")})
+	got, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if string(got[0]) != "keep" {
+		t.Fatalf("event aliased the batch buffer: %q", got[0])
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated count":   {0, 0, 1},
+		"count over buffer": {0xFF, 0xFF, 0xFF, 0xFF},
+		"short event":       EncodeBatch([][]byte{[]byte("abcd")})[:8],
+		"trailing bytes":    append(EncodeBatch([][]byte{[]byte("x")}), 0x01),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeBatch(buf); err == nil {
+			t.Errorf("%s: DecodeBatch succeeded on %v", name, buf)
+		}
+	}
+}
+
+// Property: DecodeBatch never panics on arbitrary garbage input.
+func TestQuickDecodeBatchNoPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeBatch(raw)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
