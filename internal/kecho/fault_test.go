@@ -9,6 +9,7 @@ import (
 
 	"dproc/internal/faultnet"
 	"dproc/internal/registry"
+	"dproc/internal/wire"
 )
 
 // fastHeal returns options that run the reconnect supervisor quickly enough
@@ -417,4 +418,137 @@ func TestRegistryRestartMembersReRegister(t *testing.T) {
 		b.Poll()
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// TestLargeEventBurstSplitsBatches pins the byte bound on batch coalescing:
+// individual events may legally approach wire.MaxFrameSize, so a backlog of
+// large events must split across several frames rather than coalesce into
+// one oversized frame the wire layer rejects (which would tear down a
+// healthy peer and lose the whole batch). Five 5 MiB events queue behind a
+// stalled write; count alone (MaxBatch 64) would coalesce all of them into
+// a ~26 MiB frame.
+func TestLargeEventBurstSplitsBatches(t *testing.T) {
+	const events = 5
+	const eventSize = 5 << 20
+	f := faultnet.NewFabric(37)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 5 * time.Second, DisableReconnect: true}
+	}
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	var sizes []int
+	var mu sync.Mutex
+	b.Subscribe(func(ev Event) {
+		mu.Lock()
+		sizes = append(sizes, len(ev.Payload))
+		mu.Unlock()
+		got.Add(1)
+	})
+
+	// Stall the writer mid-write so the rest of the burst piles up and the
+	// coalesce loop sees all of it at once when the stall lifts.
+	f.StallWrites("maui", true)
+	payload := make([]byte, eventSize)
+	for i := 0; i < events; i++ {
+		if n, err := a.Submit(payload); err != nil || n != 1 {
+			t.Fatalf("Submit #%d = (%d, %v), want (1, nil)", i, n, err)
+		}
+	}
+	f.StallWrites("maui", false)
+
+	waitForEvents(t, b, &got, events)
+	// The peer survived: the burst was split, not rejected.
+	if peers := a.Peers(); len(peers) != 1 {
+		t.Fatalf("publisher peers = %v after large burst, want [maui]", peers)
+	}
+	if d := a.Stats().QueueDrops; d != 0 {
+		t.Fatalf("QueueDrops = %d, want 0 (no event may be lost)", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range sizes {
+		if s != eventSize {
+			t.Fatalf("event %d arrived with %d bytes, want %d", i, s, eventSize)
+		}
+	}
+}
+
+// TestOversizeEventDroppedPeerSurvives: a single event too large for the
+// wire format can never be delivered; it must be dropped and counted, not
+// kill the connection. Subsequent normal events still flow.
+func TestOversizeEventDroppedPeerSurvives(t *testing.T) {
+	f := faultnet.NewFabric(41)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 5 * time.Second, DisableReconnect: true}
+	}
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+
+	// The payload alone fills MaxFrameSize; the event envelope (member ID,
+	// seq, length prefixes) pushes the record past it.
+	if _, err := a.Submit(make([]byte, wire.MaxFrameSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Submit([]byte("small follows oversize")); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvents(t, b, &got, 1)
+	if peers := a.Peers(); len(peers) != 1 {
+		t.Fatalf("publisher peers = %v after oversize event, want [maui]", peers)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().QueueDrops < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueueDrops = %d, want >= 1 (oversize event)", a.Stats().QueueDrops)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseDrainsAcceptedEvents pins Close's graceful drain: events already
+// accepted by Submit are flushed (bounded by one write deadline) before the
+// peer connections are torn down, so a clean shutdown does not silently
+// discard the tail of the stream.
+func TestCloseDrainsAcceptedEvents(t *testing.T) {
+	const events = 10
+	f := faultnet.NewFabric(43)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: 5 * time.Second, DisableReconnect: true}
+	}
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+
+	// Queue a burst behind a stalled write, lift the stall while Close is
+	// (or is about to start) draining: every accepted event must arrive.
+	f.StallWrites("maui", true)
+	for i := 0; i < events; i++ {
+		if n, err := a.Submit([]byte{byte(i)}); err != nil || n != 1 {
+			t.Fatalf("Submit #%d = (%d, %v), want (1, nil)", i, n, err)
+		}
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		f.StallWrites("maui", false)
+	}()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvents(t, b, &got, events)
 }

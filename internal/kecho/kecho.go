@@ -120,9 +120,12 @@ type Stats struct {
 	// DeadlineDrops counts sends aborted because the peer did not accept the
 	// frame within the write deadline (slow or wedged subscriber).
 	DeadlineDrops uint64
-	// QueueDrops counts events discarded because a peer's outbound queue was
-	// full — the bounded-buffer answer to a subscriber stalled longer than
-	// the queue can absorb.
+	// QueueDrops counts events accepted (or offered) to a peer's outbound
+	// queue that were discarded before a completed write: the queue was full
+	// at Submit time, the event was still queued or mid-write when the peer
+	// was torn down, or a single event exceeded the wire frame limit. It is
+	// the publisher-side loss counter: EventsSent - QueueDrops bounds actual
+	// frame deliveries.
 	QueueDrops uint64
 	// BatchesSent counts multi-event frames written: wake-ups where a writer
 	// found more than one event queued and coalesced them into one frame.
@@ -228,6 +231,10 @@ type peer struct {
 	// idle writer so it can exit.
 	dead     chan struct{}
 	downOnce sync.Once
+	// pending counts events accepted for this peer (enqueued on outbox or
+	// held by the writer) whose write has neither completed nor been
+	// abandoned; Close's graceful drain waits for it to reach zero.
+	pending atomic.Int64
 }
 
 // close tears the peer down: closes the connection and wakes the writer.
@@ -249,6 +256,13 @@ func (p *peer) send(typ uint8, payload []byte, deadline time.Duration) error {
 	}
 	return wire.WriteFrame(p.conn, typ, payload)
 }
+
+// ErrOutboxFull reports an enqueue that found the peer's bounded outbound
+// queue full — transient backpressure from a slow-but-alive subscriber,
+// distinct from a missing peer or a closed channel. Callers that fan out
+// per-peer (e.g. a streaming server) should treat it as a skipped event,
+// not a dead peer.
+var ErrOutboxFull = errors.New("kecho: peer outbox full")
 
 // isTimeout reports whether err is a deadline expiry rather than a dead
 // connection.
@@ -426,6 +440,15 @@ func (c *Channel) addPeer(p *peer) {
 	go c.writeLoop(p)
 }
 
+// dropQueued discards n events that were accepted for peer p but will never
+// be written, keeping the drop counter and the peer's pending count in step.
+func (c *Channel) dropQueued(p *peer, n int) {
+	if n > 0 {
+		c.queueDrops.Add(uint64(n))
+		p.pending.Add(-int64(n))
+	}
+}
+
 func (c *Channel) removePeer(p *peer) {
 	c.mu.Lock()
 	if cur, ok := c.peers[p.id]; ok && cur == p {
@@ -512,43 +535,109 @@ func (c *Channel) receiveEvent(record []byte) {
 }
 
 // writeLoop is peer p's dedicated writer: it drains the outbox, coalescing
-// up to maxBatch queued events into one batch frame per wake-up, and tears
-// the peer down on any write failure. A stalled subscriber therefore costs
-// the publisher an enqueue; the deadline is paid here, off the Submit path.
+// queued events into one batch frame per wake-up — bounded by both maxBatch
+// and the wire frame limit — and tears the peer down on any write failure.
+// A stalled subscriber therefore costs the publisher an enqueue; the
+// deadline is paid here, off the Submit path.
 func (c *Channel) writeLoop(p *peer) {
 	defer c.wg.Done()
+	// Whatever is still queued when the writer exits (peer torn down,
+	// replaced, or failed) was accepted by Submit but will never be written;
+	// count it so EventsSent - QueueDrops reflects actual deliveries. The
+	// drain is bounded by a length snapshot so a concurrent Submit cannot
+	// live-lock it.
+	// carry holds a record pulled from the outbox that would have pushed the
+	// previous batch past the frame limit; it opens the next batch instead,
+	// preserving order.
+	var carry []byte
+	defer func() {
+		if carry != nil {
+			c.dropQueued(p, 1)
+		}
+		for n := len(p.outbox); n > 0; n-- {
+			select {
+			case <-p.outbox:
+				c.dropQueued(p, 1)
+			default:
+				return
+			}
+		}
+	}()
 	batch := make([][]byte, 0, c.maxBatch)
 	for {
 		var first []byte
-		select {
-		case first = <-p.outbox:
-		case <-p.dead:
-			return
+		if carry != nil {
+			first, carry = carry, nil
+		} else {
+			select {
+			case first = <-p.outbox:
+			case <-p.dead:
+				return
+			}
 		}
 		batch = append(batch[:0], first)
+		// Batch payload size: 4-byte count, then each record with a 4-byte
+		// length prefix (wire.EncodeBatch). Individual events may legally
+		// approach wire.MaxFrameSize, so the coalesce loop must bound bytes,
+		// not just count — a burst of large events must split across frames,
+		// not produce one oversized frame the wire layer rejects.
+		bytes := 4 + 4 + len(first)
 		// Coalesce whatever else queued while we were away (or writing).
 	coalesce:
 		for len(batch) < c.maxBatch {
 			select {
 			case rec := <-p.outbox:
+				if bytes+4+len(rec) > wire.MaxFrameSize {
+					carry = rec
+					break coalesce
+				}
 				batch = append(batch, rec)
+				bytes += 4 + len(rec)
 			default:
 				break coalesce
 			}
 		}
 		var err error
+		// done counts events resolved this round — written or deliberately
+		// dropped — so the error path can account for the remainder.
+		done := 0
 		if len(batch) == 1 {
-			err = p.send(frameEvent, batch[0], c.writeDeadline)
+			if err = p.send(frameEvent, batch[0], c.writeDeadline); err == nil {
+				p.pending.Add(-1)
+				done = 1
+			}
 		} else {
-			err = p.send(frameBatch, wire.EncodeBatch(batch), c.writeDeadline)
-			if err == nil {
+			if err = p.send(frameBatch, wire.EncodeBatch(batch), c.writeDeadline); err == nil {
 				c.batchesSent.Add(1)
+				p.pending.Add(-int64(len(batch)))
+				done = len(batch)
+			}
+		}
+		if err != nil && errors.Is(err, wire.ErrFrameSize) {
+			// ErrFrameSize means WriteFrame wrote nothing — the connection is
+			// intact, only this frame was refused. Degrade to individual
+			// frames; a single event too large for the wire format can never
+			// be delivered and is dropped rather than killing the peer.
+			err = nil
+			for _, rec := range batch {
+				if len(rec) > wire.MaxFrameSize {
+					c.dropQueued(p, 1)
+					done++
+					continue
+				}
+				if err = p.send(frameEvent, rec, c.writeDeadline); err != nil {
+					break
+				}
+				p.pending.Add(-1)
+				done++
 			}
 		}
 		if err != nil {
 			if isTimeout(err) {
 				c.deadlineDrops.Add(1)
 			}
+			// Events pulled from the outbox for this write die with it.
+			c.dropQueued(p, len(batch)-done)
 			c.removePeer(p)
 			return
 		}
@@ -619,10 +708,14 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 	frame := c.encodeEvent(payload)
 	sent := 0
 	for _, p := range peers {
+		// Count the event pending before the enqueue so the graceful drain
+		// in Close can never observe it queued but uncounted.
+		p.pending.Add(1)
 		select {
 		case p.outbox <- frame:
 			sent++
 		default:
+			p.pending.Add(-1)
 			c.queueDrops.Add(1)
 		}
 	}
@@ -633,7 +726,9 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 
 // SubmitTo publishes payload to a single peer, used for targeted control
 // messages (e.g. deploying a filter on one node). Like Submit it only
-// enqueues; an overflowing outbox drops the event and returns an error.
+// enqueues; an overflowing outbox drops the event and returns an error
+// wrapping ErrOutboxFull, so callers can tell transient backpressure (skip
+// and retry later) from a peer that is not connected at all.
 func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	c.mu.Lock()
 	p, ok := c.peers[peerID]
@@ -645,11 +740,13 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
+	p.pending.Add(1)
 	select {
 	case p.outbox <- c.encodeEvent(payload):
 	default:
+		p.pending.Add(-1)
 		c.queueDrops.Add(1)
-		return fmt.Errorf("kecho: outbox full for peer %q on channel %q", peerID, c.name)
+		return fmt.Errorf("%w: peer %q on channel %q", ErrOutboxFull, peerID, c.name)
 	}
 	c.eventsSent.Add(1)
 	c.bytesSent.Add(uint64(len(payload)))
@@ -789,10 +886,15 @@ func (c *Channel) superviseOnce() bool {
 	return healthy
 }
 
-// Close leaves the channel: stops the supervisor, closes the listener and
-// all peer connections, waits for goroutines to finish, and deregisters
-// from the registry last — so a racing supervisor round cannot re-register
-// a member that is going away.
+// Close leaves the channel: stops the supervisor, gives the per-peer
+// writers a bounded chance to drain events already accepted by Submit,
+// closes the listener and all peer connections, waits for goroutines to
+// finish, and deregisters from the registry last — so a racing supervisor
+// round cannot re-register a member that is going away.
+//
+// The drain is best-effort, bounded by one write deadline across all peers:
+// events still queued for a peer that cannot absorb them in that time are
+// discarded and counted in Stats.QueueDrops.
 func (c *Channel) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -808,12 +910,38 @@ func (c *Channel) Close() error {
 
 	close(c.stop)
 	err := c.ln.Close()
+	c.drainOutboxes(peers)
 	for _, p := range peers {
 		p.close()
 	}
 	c.wg.Wait()
 	_ = c.reg.Leave(c.name, c.id)
 	return err
+}
+
+// drainOutboxes waits for the peers' writers to flush every event already
+// accepted by Submit (the per-peer pending count reaching zero), giving up
+// after one write deadline — the bound a single stalled peer could already
+// cost a writer. A peer whose writer has died is skipped: nothing will
+// consume its outbox again, and its remnants are counted in QueueDrops by
+// the writer's exit drain.
+func (c *Channel) drainOutboxes(peers []*peer) {
+	bound := c.writeDeadline
+	if bound <= 0 {
+		bound = defaultWriteDeadline
+	}
+	deadline := time.Now().Add(bound)
+	for _, p := range peers {
+		for p.pending.Load() > 0 && time.Now().Before(deadline) {
+			select {
+			case <-p.dead:
+			default:
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			break
+		}
+	}
 }
 
 // WaitForPeers blocks until the channel has at least n connected peers or

@@ -102,8 +102,13 @@ type LiveServer struct {
 	// policyErrors counts failed policy evaluations (fall back to the
 	// builtin hybrid chooser, mirroring d-mon's fail-open filters).
 	policyErrors uint64
-	// dropped counts subscribers removed after delivery failures.
+	// dropped counts subscribers removed after delivery failures (the peer
+	// is gone from the channel, not merely slow).
 	dropped uint64
+	// skipped counts frames not sent because a subscriber's outbound queue
+	// was momentarily full — transient backpressure; the subscription is
+	// kept and the client simply misses that frame.
+	skipped uint64
 }
 
 // NewLiveServer wraps a joined channel. store may be nil, in which case
@@ -243,6 +248,17 @@ func (s *LiveServer) SendFrame() (map[string]Transform, error) {
 		}
 		ev := encodeFrame(seq, t, frame.Atoms, now, payload)
 		if err := s.ch.SubmitTo(sub.Client, ev); err != nil {
+			if errors.Is(err, kecho.ErrOutboxFull) {
+				// Slow but alive: its outbound queue is momentarily full.
+				// Skip this frame and keep the subscription — dropping a
+				// live stream over transient backpressure would force a
+				// resubscribe for no reason.
+				s.mu.Lock()
+				s.skipped++
+				s.mu.Unlock()
+				continue
+			}
+			// No such peer: the client left the channel (or never connected).
 			// A dead client must not starve the others: drop its
 			// subscription and keep streaming (it can resubscribe).
 			s.mu.Lock()
@@ -264,6 +280,14 @@ func (s *LiveServer) DroppedSubscribers() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
+}
+
+// SkippedFrames counts frames withheld from slow-but-alive subscribers
+// whose outbound queue was full at send time.
+func (s *LiveServer) SkippedFrames() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
 }
 
 // SentByTransform reports how many frames were sent per transform.

@@ -7,6 +7,7 @@ import (
 
 	"dproc/internal/clock"
 	"dproc/internal/dmon"
+	"dproc/internal/faultnet"
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
 	"dproc/internal/registry"
@@ -400,5 +401,88 @@ func TestDecodeFrameErrors(t *testing.T) {
 	good := encodeFrame(1, Full, 10, time.Now(), []byte{1, 2})
 	if _, err := decodeFrame(append(good, 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestSlowSubscriberSkippedNotDropped pins the backpressure policy: a
+// subscriber whose outbound queue is momentarily full misses frames
+// (counted in SkippedFrames) but keeps its subscription — only a client
+// that is gone from the channel is dropped. Pre-fix, any SubmitTo error
+// deleted the subscription, so transient overflow forced a resubscribe.
+func TestSlowSubscriberSkippedNotDropped(t *testing.T) {
+	f := faultnet.NewFabric(31)
+	reg, err := registry.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	join := func(id string, opts *kecho.Options) *kecho.Channel {
+		cli := registry.NewClient(reg.Addr())
+		cli.SetTransport(f.Host(id))
+		t.Cleanup(func() { cli.Close() })
+		opts.Transport = f.Host(id)
+		ch, err := kecho.Join(cli, DataChannel, id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ch.Close() })
+		return ch
+	}
+	// The client joins first so the server dials it (write stalls attach to
+	// the dial-side wrapper). A one-slot outbox overflows after one queued
+	// frame plus one in the writer's stalled send.
+	clientCh := join("viz1", &kecho.Options{DisableReconnect: true})
+	serverCh := join("server", &kecho.Options{
+		OutboxSize:       1,
+		WriteDeadline:    5 * time.Second,
+		DisableReconnect: true,
+	})
+	if !serverCh.WaitForPeers(1, 2*time.Second) || !clientCh.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("data channel mesh did not form")
+	}
+	server := NewLiveServer(serverCh, NewGenerator(100, 1), nil)
+	client := NewLiveClient(clientCh, "server")
+	if err := client.Subscribe(PolicyNone, Full); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(server.Subscribers()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription did not arrive")
+		}
+		server.Poll()
+		time.Sleep(time.Millisecond)
+	}
+
+	f.StallWrites("viz1", true)
+	// Frame 1 ends up in the stalled writer, frame 2 fills the one-slot
+	// outbox, so frame 3 must overflow and be skipped.
+	for i := 0; i < 3; i++ {
+		if _, err := server.SendFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := server.SkippedFrames(); s < 1 {
+		t.Fatalf("SkippedFrames = %d, want >= 1", s)
+	}
+	if d := server.DroppedSubscribers(); d != 0 {
+		t.Fatalf("DroppedSubscribers = %d, want 0 (client is slow, not gone)", d)
+	}
+	if subs := server.Subscribers(); len(subs) != 1 || subs[0] != "viz1" {
+		t.Fatalf("subscribers = %v, want [viz1]", subs)
+	}
+
+	// Once the stall lifts, the kept subscription keeps streaming.
+	f.StallWrites("viz1", false)
+	deadline = time.Now().Add(5 * time.Second)
+	for len(client.Frames()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not resume after the stall lifted")
+		}
+		if _, err := server.SendFrame(); err != nil {
+			t.Fatal(err)
+		}
+		client.Poll()
+		time.Sleep(time.Millisecond)
 	}
 }
