@@ -22,11 +22,15 @@ check: vet race
 figures:
 	$(GO) run ./cmd/figures
 
-# bench runs the tsdb and kecho fan-out benchmarks (bounded so the target
-# stays quick) and records machine-readable results in BENCH_tsdb.json and
-# BENCH_kecho.json via cmd/benchjson.
+# bench runs the tsdb, kecho fan-out and end-to-end hot-path benchmarks
+# (bounded so the target stays quick) and records machine-readable results in
+# BENCH_tsdb.json, BENCH_kecho.json and BENCH_hotpath.json via cmd/benchjson.
+# allocs/op in the kecho and hotpath files is the zero-allocation data-plane
+# regression gate (DESIGN.md §8).
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json
-	$(GO) test -run '^$$' -bench '^BenchmarkSubmitFanout' -benchmem -benchtime 100x . \
+	$(GO) test -run '^$$' -bench '^BenchmarkSubmitFanout' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_kecho.json
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json

@@ -23,6 +23,7 @@ import (
 	"dproc/internal/core"
 	"dproc/internal/dmon"
 	"dproc/internal/kecho"
+	"dproc/internal/pprofserve"
 	"dproc/internal/simres"
 )
 
@@ -46,8 +47,17 @@ func main() {
 		maxBatch      = flag.Int("max-batch", 0, "max events coalesced per frame by peer writers (0 = built-in 64, 1 disables)")
 		reconnect     = flag.Duration("reconnect", 250*time.Millisecond, "base interval of the mesh reconnect supervisor")
 		noHeal        = flag.Bool("no-heal", false, "disable the reconnect supervisor and registry heartbeats")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "pprof:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := core.Config{
 		Name:             *name,

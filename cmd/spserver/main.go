@@ -21,6 +21,7 @@ import (
 	"dproc/internal/clock"
 	"dproc/internal/dmon"
 	"dproc/internal/kecho"
+	"dproc/internal/pprofserve"
 	"dproc/internal/registry"
 	"dproc/internal/smartpointer"
 )
@@ -33,8 +34,16 @@ func main() {
 		interval = flag.Duration("interval", 180*time.Millisecond, "frame send period")
 		baseProc = flag.Float64("baseproc", 0.15, "assumed idle-client processing cost per full frame (s)")
 		policy   = flag.String("policy", "", "E-code adaptation policy file (empty uses the builtin hybrid chooser)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	regData := registry.NewClient(*regAddr)
 	defer regData.Close()

@@ -37,7 +37,7 @@ type DMon struct {
 	padding  int
 	seq      uint64
 
-	vm    *ecode.VM
+	vms   *ecode.VMPool
 	env   *ecode.Env
 	store *Store
 
@@ -61,7 +61,7 @@ func NewWith(node string, clk clock.Clock, src Source, opts StoreOptions) *DMon 
 	d := &DMon{
 		node:  node,
 		clk:   clk,
-		vm:    ecode.NewVM(),
+		vms:   ecode.NewVMPool(),
 		store: NewStoreWith(opts),
 	}
 	for r := range d.config {
@@ -213,7 +213,10 @@ func (d *DMon) DeployFilter(r metrics.Resource, all bool, source string) error {
 	var f *ecode.Filter
 	if source != "" {
 		var err error
-		f, err = ecode.Compile(source, FilterSpec())
+		// Cached: redeploying an unchanged control string (e.g. after a
+		// restart, or the same filter pushed to every resource) skips the
+		// whole front-end and reuses the compiled program.
+		f, err = ecode.CompileCached(source, FilterSpec())
 		if err != nil {
 			return fmt.Errorf("dmon: compiling filter: %w", err)
 		}
@@ -454,8 +457,9 @@ func (d *DMon) runFilters(now time.Time, candidates []metrics.Sample, global *ec
 			Timestamp: float64(s.Time.UnixNano()) / 1e9,
 		}
 	}
-	vm := d.vm
 	d.mu.Unlock()
+	vm := d.vms.Get()
+	defer d.vms.Put(vm)
 
 	inCandidates := func(id metrics.ID) (metrics.Sample, bool) {
 		for _, s := range candidates {

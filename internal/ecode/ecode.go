@@ -14,6 +14,9 @@ type Options struct {
 	// DisableFold skips the constant-folding pass — only for the ablation
 	// that measures what folding buys.
 	DisableFold bool
+	// DisableFuse skips the compare-and-branch superinstruction fusion pass
+	// — for the ablation and the fused-versus-unfused parity tests.
+	DisableFuse bool
 }
 
 // Compile parses, type-checks, folds and compiles E-code source against the
@@ -39,6 +42,9 @@ func CompileWithOptions(source string, spec *EnvSpec, opts Options) (*Filter, er
 	prog, err := compileProgram(stmts, frame, source)
 	if err != nil {
 		return nil, err
+	}
+	if !opts.DisableFuse {
+		prog.Code = fuseProgram(prog.Code)
 	}
 	if spec == nil {
 		spec = &EnvSpec{}

@@ -1,0 +1,90 @@
+package ecode
+
+// Superinstruction fusion. The code generator emits every condition as a
+// comparison (push 0/1) followed by a conditional branch that pops it; in
+// the interpreter loop that costs two dispatches and a round-trip through
+// the stack per test. Since threshold tests dominate the paper's monitoring
+// filters (Figure 3 is essentially three of them), the fusion pass collapses
+// each such pair into one fused compare-and-branch instruction after
+// compilation. It is a pure bytecode-to-bytecode rewrite: results, errors
+// and observable behaviour are unchanged (pinned by the parity and torture
+// suites run with and without fusion).
+
+// fusedOpFor maps a (comparison, branch) pair to its fused opcode, or
+// reports that the pair is not fusable.
+func fusedOpFor(cmp, branch Opcode) (Opcode, bool) {
+	var isInt bool
+	switch cmp {
+	case OpEqI, OpNeI, OpLtI, OpLeI, OpGtI, OpGeI:
+		isInt = true
+	case OpEqF, OpNeF, OpLtF, OpLeF, OpGtF, OpGeF:
+		isInt = false
+	default:
+		return OpNop, false
+	}
+	switch branch {
+	case OpJumpZ:
+		if isInt {
+			return OpJCmpIZ, true
+		}
+		return OpJCmpFZ, true
+	case OpJumpNZ:
+		if isInt {
+			return OpJCmpINZ, true
+		}
+		return OpJCmpFNZ, true
+	}
+	return OpNop, false
+}
+
+// isJump reports whether op carries a jump target in A.
+func isJump(op Opcode) bool {
+	switch op {
+	case OpJump, OpJumpZ, OpJumpNZ, OpJCmpIZ, OpJCmpINZ, OpJCmpFZ, OpJCmpFNZ:
+		return true
+	}
+	return false
+}
+
+// fuseProgram rewrites code with compare-and-branch pairs fused. A branch
+// that is itself a jump target is never fused: some control path reaches it
+// without executing the comparison, so folding the pair would skip a real
+// instruction on that path. All surviving jump targets are remapped to the
+// compacted addresses.
+func fuseProgram(code []Instr) []Instr {
+	// Mark every instruction some jump lands on. Targets may legally point
+	// one past the end (a branch to "fall off and return void").
+	targets := make([]bool, len(code)+1)
+	for _, in := range code {
+		if isJump(in.Op) {
+			targets[in.A] = true
+		}
+	}
+	out := make([]Instr, 0, len(code))
+	// oldToNew[pc] is the compacted address of old instruction pc; the extra
+	// entry maps the one-past-the-end target.
+	oldToNew := make([]int32, len(code)+1)
+	for pc := 0; pc < len(code); {
+		oldToNew[pc] = int32(len(out))
+		in := code[pc]
+		if pc+1 < len(code) && !targets[pc+1] {
+			if fop, ok := fusedOpFor(in.Op, code[pc+1].Op); ok {
+				out = append(out, Instr{Op: fop, A: code[pc+1].A, I: int64(in.Op)})
+				// The consumed branch is provably not a target, but give it a
+				// sane mapping (the instruction after the fused pair) anyway.
+				oldToNew[pc+1] = int32(len(out))
+				pc += 2
+				continue
+			}
+		}
+		out = append(out, in)
+		pc++
+	}
+	oldToNew[len(code)] = int32(len(out))
+	for i := range out {
+		if isJump(out[i].Op) {
+			out[i].A = oldToNew[out[i].A]
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package ecode
+
+import "sync"
+
+// VMPool recycles VMs so many goroutines can run filters concurrently
+// without a per-run VM allocation. A VM holds its stack and locals scratch
+// across runs; the pool hands each caller a private one for the duration of
+// a Run, which keeps the per-event filter cost allocation-free while
+// preserving the VM's not-concurrency-safe contract.
+type VMPool struct {
+	// MaxSteps is applied to every VM the pool hands out; 0 means
+	// DefaultMaxSteps.
+	MaxSteps int
+	pool     sync.Pool
+}
+
+// NewVMPool returns an empty pool with the default step budget.
+func NewVMPool() *VMPool { return &VMPool{} }
+
+// Get returns a VM for exclusive use; return it with Put when done.
+func (p *VMPool) Get() *VM {
+	if vm, ok := p.pool.Get().(*VM); ok {
+		vm.MaxSteps = p.MaxSteps
+		return vm
+	}
+	return &VM{MaxSteps: p.MaxSteps}
+}
+
+// Put recycles a VM obtained from Get. The VM must not be used afterwards.
+func (p *VMPool) Put(vm *VM) {
+	if vm != nil {
+		p.pool.Put(vm)
+	}
+}
+
+// Run executes f against env on a pooled VM: Get, run, Put. Safe for
+// concurrent use; each call runs on its own VM.
+func (p *VMPool) Run(f *Filter, env *Env) (Result, error) {
+	vm := p.Get()
+	res, err := f.Run(vm, env)
+	p.Put(vm)
+	return res, err
+}

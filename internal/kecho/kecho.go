@@ -25,6 +25,7 @@
 package kecho
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -78,6 +79,14 @@ const (
 )
 
 // Event is one message delivered on a channel.
+//
+// Ownership: Payload is loaned to handlers for the duration of the handler
+// call. In Polled mode it points into a pooled buffer the channel recycles
+// as soon as every handler for the event has returned; in Immediate mode it
+// aliases the connection's receive buffer, reused by the next frame. Either
+// way, a handler that needs the bytes past its own return must copy them
+// (CopyPayload); retaining Payload itself observes whatever event recycles
+// the buffer next. See DESIGN.md §8.
 type Event struct {
 	// Channel is the channel name the event arrived on.
 	Channel string
@@ -85,10 +94,22 @@ type Event struct {
 	From string
 	// Seq is the publisher's per-channel sequence number.
 	Seq uint64
-	// Payload is the opaque event body.
+	// Payload is the opaque event body, valid only during handler dispatch.
 	Payload []byte
 	// Recv is the local receive time.
 	Recv time.Time
+
+	// pooled marks Payload as drawn from the channel's recycled buffers;
+	// Poll returns it to the freelist after the handlers run.
+	pooled bool
+}
+
+// CopyPayload returns an independent copy of the event body, for handlers
+// that need it beyond their own return.
+func (ev Event) CopyPayload() []byte {
+	out := make([]byte, len(ev.Payload))
+	copy(out, ev.Payload)
+	return out
 }
 
 // Handler consumes events; see Channel.Subscribe.
@@ -204,6 +225,15 @@ type Channel struct {
 	seq   atomic.Uint64
 	stop  chan struct{}
 
+	// payloadFree recycles inbox payload buffers: receiveEvent copies a
+	// polled event's body into a buffer popped from here, and Poll pushes it
+	// back after the handlers run. LIFO so the hot path stays cache-warm and
+	// buffer reuse is deterministic (the ownership tests rely on that).
+	payloadFree struct {
+		sync.Mutex
+		bufs [][]byte
+	}
+
 	eventsSent    atomic.Uint64
 	eventsRecv    atomic.Uint64
 	bytesSent     atomic.Uint64
@@ -219,14 +249,52 @@ type Channel struct {
 	wg sync.WaitGroup
 }
 
+// outRecord is one encoded event record (publisher ID, seq, payload). It is
+// encoded once per Submit and shared by every peer outbox — the fan-out
+// enqueues the same record N times instead of copying it N times. refs
+// counts the holders (each enqueued outbox plus the submitting goroutine);
+// the last release returns the buffer to the pool, so the steady-state
+// publish path allocates nothing.
+type outRecord struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var outRecordPool = sync.Pool{New: func() any { return new(outRecord) }}
+
+// maxPooledRecord caps the buffer capacity a recycled record may retain, so
+// one oversized event cannot pin megabytes in the pool.
+const maxPooledRecord = 64 << 10
+
+// newOutRecord returns a pooled record with an empty buffer and one
+// reference (the caller's).
+func newOutRecord() *outRecord {
+	r := outRecordPool.Get().(*outRecord)
+	r.buf = r.buf[:0]
+	r.refs.Store(1)
+	return r
+}
+
+// release drops one reference; the last one recycles the record. The buffer
+// must not be touched after the caller's release.
+func (r *outRecord) release() {
+	if r.refs.Add(-1) == 0 {
+		if cap(r.buf) > maxPooledRecord {
+			r.buf = nil
+		}
+		outRecordPool.Put(r)
+	}
+}
+
 type peer struct {
 	id   string
 	conn net.Conn
 	wmu  sync.Mutex
-	// outbox queues encoded event records (publisher ID, seq, payload) for
-	// the peer's writer goroutine; Submit enqueues without blocking and
-	// never closes it.
-	outbox chan []byte
+	// outbox queues encoded event records for the peer's writer goroutine;
+	// Submit enqueues without blocking and never closes it. Records are
+	// refcounted: the writer releases its reference once the record is
+	// written or deliberately dropped.
+	outbox chan *outRecord
 	// dead is closed exactly once when the peer is torn down, waking an
 	// idle writer so it can exit.
 	dead     chan struct{}
@@ -374,7 +442,12 @@ func (c *Channel) Peers() []string {
 func (c *Channel) Subscribe(h Handler) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.handlers = append(c.handlers, h)
+	// Copy-on-write: the slice is never appended to in place, so dispatch
+	// can iterate a snapshot without copying (or allocating) per event.
+	next := make([]Handler, len(c.handlers)+1)
+	copy(next, c.handlers)
+	next[len(c.handlers)] = h
+	c.handlers = next
 }
 
 // Stats returns a snapshot of traffic counters.
@@ -399,9 +472,42 @@ func (c *Channel) newPeer(id string, conn net.Conn) *peer {
 	return &peer{
 		id:     id,
 		conn:   conn,
-		outbox: make(chan []byte, c.outboxSize),
+		outbox: make(chan *outRecord, c.outboxSize),
 		dead:   make(chan struct{}),
 	}
+}
+
+// getPayloadBuf pops a recycled payload buffer with capacity for n bytes, or
+// allocates one. The buffer comes back via putPayloadBuf after dispatch.
+func (c *Channel) getPayloadBuf(n int) []byte {
+	c.payloadFree.Lock()
+	for len(c.payloadFree.bufs) > 0 {
+		last := len(c.payloadFree.bufs) - 1
+		buf := c.payloadFree.bufs[last]
+		c.payloadFree.bufs = c.payloadFree.bufs[:last]
+		if cap(buf) >= n {
+			c.payloadFree.Unlock()
+			return buf[:0]
+		}
+		// Too small for this event; drop it rather than shuffling — the
+		// freelist re-grows at the new high-water size.
+	}
+	c.payloadFree.Unlock()
+	return make([]byte, 0, n)
+}
+
+// putPayloadBuf recycles an inbox payload buffer once its event has been
+// dispatched. The freelist is bounded by the inbox size (there can never be
+// more loaned buffers than queued events) and refuses oversized buffers.
+func (c *Channel) putPayloadBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooledRecord {
+		return
+	}
+	c.payloadFree.Lock()
+	if len(c.payloadFree.bufs) < cap(c.inbox) {
+		c.payloadFree.bufs = append(c.payloadFree.bufs, buf)
+	}
+	c.payloadFree.Unlock()
 }
 
 func (c *Channel) dialPeer(m registry.Member) error {
@@ -440,13 +546,13 @@ func (c *Channel) addPeer(p *peer) {
 	go c.writeLoop(p)
 }
 
-// dropQueued discards n events that were accepted for peer p but will never
-// be written, keeping the drop counter and the peer's pending count in step.
-func (c *Channel) dropQueued(p *peer, n int) {
-	if n > 0 {
-		c.queueDrops.Add(uint64(n))
-		p.pending.Add(-int64(n))
-	}
+// dropRecord discards one event that was accepted for peer p but will never
+// be written, keeping the drop counter, the peer's pending count, and the
+// record's refcount in step.
+func (c *Channel) dropRecord(p *peer, rec *outRecord) {
+	c.queueDrops.Add(1)
+	p.pending.Add(-1)
+	rec.release()
 }
 
 func (c *Channel) removePeer(p *peer) {
@@ -482,55 +588,86 @@ func (c *Channel) acceptLoop() {
 	}
 }
 
+// readLoop drains peer p's connection. It owns a single receive buffer (the
+// FrameReader) reused across frames, and a batch scratch reused across batch
+// frames, so the steady-state receive path — read frame, unpack batch,
+// decode records, dispatch — performs no allocation.
 func (c *Channel) readLoop(p *peer) {
 	defer c.wg.Done()
 	defer c.removePeer(p)
+	fr := wire.NewFrameReader(p.conn)
+	var batch [][]byte // zero-copy views into the frame reader's buffer
 	for {
-		typ, payload, err := wire.ReadFrame(p.conn)
+		typ, payload, err := fr.Next()
 		if err != nil {
 			return
 		}
 		switch typ {
 		case frameEvent:
-			c.receiveEvent(payload)
+			c.receiveEvent(p, payload)
 		case frameBatch:
 			// Unpack transparently: consumers see the same event stream
-			// whether or not the sender's writer coalesced.
-			records, err := wire.DecodeBatch(payload)
-			if err != nil {
+			// whether or not the sender's writer coalesced. The decoded
+			// records are subslices of the frame buffer; they are consumed
+			// (dispatched or copied into pooled inbox buffers) before the
+			// next fr.Next reuses it.
+			var derr error
+			batch, derr = wire.DecodeBatchInto(batch[:0], payload)
+			if derr != nil {
 				continue
 			}
-			for _, rec := range records {
-				c.receiveEvent(rec)
+			for _, rec := range batch {
+				c.receiveEvent(p, rec)
 			}
 		}
 	}
 }
 
-// receiveEvent decodes one event record and delivers it (inbox or immediate
-// dispatch, per the channel's mode).
-func (c *Channel) receiveEvent(record []byte) {
-	d := wire.NewDecoder(record)
-	ev := Event{
-		Channel: c.name,
-		From:    d.String(),
-		Seq:     d.Uint64(),
-		Payload: d.BytesField(),
-		Recv:    time.Now(),
+// internFrom returns the publisher ID for a decoded from field without
+// allocating in the common case. Events arrive one hop from their publisher,
+// so the sender ID almost always equals the peer's ID; fall back to a fresh
+// string for relayed or test-injected traffic.
+func (c *Channel) internFrom(p *peer, from []byte) string {
+	if string(from) == p.id { // compiles to an alloc-free comparison
+		return p.id
 	}
+	return string(from)
+}
+
+// receiveEvent decodes one event record and delivers it (inbox or immediate
+// dispatch, per the channel's mode). record aliases the connection's receive
+// buffer: immediate dispatch hands the view straight to handlers (valid for
+// the handler call only), while polled delivery copies the body into a
+// recycled buffer that Poll returns to the freelist after dispatch.
+func (c *Channel) receiveEvent(p *peer, record []byte) {
+	d := wire.NewDecoder(record)
+	from := d.StringBytes()
+	seq := d.Uint64()
+	body := d.BytesFieldView()
 	if d.Finish() != nil {
 		return
 	}
 	c.eventsRecv.Add(1)
-	c.bytesRecv.Add(uint64(len(ev.Payload)))
+	c.bytesRecv.Add(uint64(len(body)))
+	ev := Event{
+		Channel: c.name,
+		From:    c.internFrom(p, from),
+		Seq:     seq,
+		Payload: body,
+		Recv:    time.Now(),
+	}
 	if c.opts.Dispatch == Immediate {
 		c.dispatch(ev)
 		return
 	}
+	buf := c.getPayloadBuf(len(body))
+	ev.Payload = append(buf, body...)
+	ev.pooled = true
 	select {
 	case c.inbox <- ev:
 	default:
 		c.dropped.Add(1)
+		c.putPayloadBuf(ev.Payload)
 	}
 }
 
@@ -549,23 +686,28 @@ func (c *Channel) writeLoop(p *peer) {
 	// carry holds a record pulled from the outbox that would have pushed the
 	// previous batch past the frame limit; it opens the next batch instead,
 	// preserving order.
-	var carry []byte
+	var carry *outRecord
 	defer func() {
 		if carry != nil {
-			c.dropQueued(p, 1)
+			c.dropRecord(p, carry)
 		}
 		for n := len(p.outbox); n > 0; n-- {
 			select {
-			case <-p.outbox:
-				c.dropQueued(p, 1)
+			case rec := <-p.outbox:
+				c.dropRecord(p, rec)
 			default:
 				return
 			}
 		}
 	}()
-	batch := make([][]byte, 0, c.maxBatch)
+	// The writer's scratch persists across wake-ups: the record batch, the
+	// view slice handed to wire.AppendBatch, and the batch-frame encode
+	// buffer, so steady-state coalescing allocates nothing.
+	batch := make([]*outRecord, 0, c.maxBatch)
+	views := make([][]byte, 0, c.maxBatch)
+	var enc []byte
 	for {
-		var first []byte
+		var first *outRecord
 		if carry != nil {
 			first, carry = carry, nil
 		} else {
@@ -577,40 +719,54 @@ func (c *Channel) writeLoop(p *peer) {
 		}
 		batch = append(batch[:0], first)
 		// Batch payload size: 4-byte count, then each record with a 4-byte
-		// length prefix (wire.EncodeBatch). Individual events may legally
+		// length prefix (wire.AppendBatch). Individual events may legally
 		// approach wire.MaxFrameSize, so the coalesce loop must bound bytes,
 		// not just count — a burst of large events must split across frames,
 		// not produce one oversized frame the wire layer rejects.
-		bytes := 4 + 4 + len(first)
+		bytes := 4 + 4 + len(first.buf)
 		// Coalesce whatever else queued while we were away (or writing).
 	coalesce:
 		for len(batch) < c.maxBatch {
 			select {
 			case rec := <-p.outbox:
-				if bytes+4+len(rec) > wire.MaxFrameSize {
+				if bytes+4+len(rec.buf) > wire.MaxFrameSize {
 					carry = rec
 					break coalesce
 				}
 				batch = append(batch, rec)
-				bytes += 4 + len(rec)
+				bytes += 4 + len(rec.buf)
 			default:
 				break coalesce
 			}
 		}
 		var err error
 		// done counts events resolved this round — written or deliberately
-		// dropped — so the error path can account for the remainder.
+		// dropped, their references released — so the error path can account
+		// for the remainder.
 		done := 0
 		if len(batch) == 1 {
-			if err = p.send(frameEvent, batch[0], c.writeDeadline); err == nil {
+			if err = p.send(frameEvent, first.buf, c.writeDeadline); err == nil {
 				p.pending.Add(-1)
+				first.release()
 				done = 1
 			}
 		} else {
-			if err = p.send(frameBatch, wire.EncodeBatch(batch), c.writeDeadline); err == nil {
+			views = views[:0]
+			for _, rec := range batch {
+				views = append(views, rec.buf)
+			}
+			enc = wire.AppendBatch(enc[:0], views)
+			if err = p.send(frameBatch, enc, c.writeDeadline); err == nil {
 				c.batchesSent.Add(1)
 				p.pending.Add(-int64(len(batch)))
+				for _, rec := range batch {
+					rec.release()
+				}
 				done = len(batch)
+			}
+			if cap(enc) > maxPooledRecord {
+				// Don't let one giant burst pin a frame-sized buffer forever.
+				enc = nil
 			}
 		}
 		if err != nil && errors.Is(err, wire.ErrFrameSize) {
@@ -620,15 +776,16 @@ func (c *Channel) writeLoop(p *peer) {
 			// be delivered and is dropped rather than killing the peer.
 			err = nil
 			for _, rec := range batch {
-				if len(rec) > wire.MaxFrameSize {
-					c.dropQueued(p, 1)
+				if len(rec.buf) > wire.MaxFrameSize {
+					c.dropRecord(p, rec)
 					done++
 					continue
 				}
-				if err = p.send(frameEvent, rec, c.writeDeadline); err != nil {
+				if err = p.send(frameEvent, rec.buf, c.writeDeadline); err != nil {
 					break
 				}
 				p.pending.Add(-1)
+				rec.release()
 				done++
 			}
 		}
@@ -637,7 +794,9 @@ func (c *Channel) writeLoop(p *peer) {
 				c.deadlineDrops.Add(1)
 			}
 			// Events pulled from the outbox for this write die with it.
-			c.dropQueued(p, len(batch)-done)
+			for _, rec := range batch[done:] {
+				c.dropRecord(p, rec)
+			}
 			c.removePeer(p)
 			return
 		}
@@ -645,9 +804,11 @@ func (c *Channel) writeLoop(p *peer) {
 }
 
 func (c *Channel) dispatch(ev Event) {
+	// Subscribe builds a fresh slice on every registration, so the snapshot
+	// taken here stays immutable after the lock is released — no per-event
+	// copy needed on the hot path.
 	c.mu.Lock()
-	handlers := make([]Handler, len(c.handlers))
-	copy(handlers, c.handlers)
+	handlers := c.handlers
 	c.mu.Unlock()
 	for _, h := range handlers {
 		h(ev)
@@ -666,6 +827,11 @@ func (c *Channel) Poll() int {
 		select {
 		case ev := <-c.inbox:
 			c.dispatch(ev)
+			if ev.pooled {
+				// Every handler has returned; the loaned buffer goes back to
+				// the freelist for the next received event.
+				c.putPayloadBuf(ev.Payload)
+			}
 			n++
 		default:
 			return n
@@ -677,12 +843,16 @@ func (c *Channel) Poll() int {
 // Pending reports how many events are queued awaiting Poll.
 func (c *Channel) Pending() int { return len(c.inbox) }
 
-func (c *Channel) encodeEvent(payload []byte) []byte {
-	e := wire.NewEncoder(16 + len(c.id) + len(payload))
-	e.String(c.id)
-	e.Uint64(c.seq.Add(1))
-	e.BytesField(payload)
-	return e.Bytes()
+// encodeRecord encodes payload as one event record (publisher ID, sequence
+// number, body) into a pooled record holding a single reference — the
+// caller's. The wire layout matches Encoder.String + Encoder.Uint64 +
+// Encoder.BytesField, decoded by receiveEvent.
+func (c *Channel) encodeRecord(payload []byte) *outRecord {
+	rec := newOutRecord()
+	rec.buf = wire.AppendString(rec.buf, c.id)
+	rec.buf = binary.BigEndian.AppendUint64(rec.buf, c.seq.Add(1))
+	rec.buf = wire.AppendBytesField(rec.buf, payload)
+	return rec
 }
 
 // Submit publishes payload to every connected peer and returns how many
@@ -700,27 +870,31 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, errors.New("kecho: channel closed")
 	}
-	peers := make([]*peer, 0, len(c.peers))
-	for _, p := range c.peers {
-		peers = append(peers, p)
-	}
-	c.mu.Unlock()
-	frame := c.encodeEvent(payload)
+	// Encode once; every outbox shares the same record. The enqueue loop runs
+	// under c.mu (it never blocks — the selects have defaults), which also
+	// spares the per-Submit peers-slice copy.
+	rec := c.encodeRecord(payload)
 	sent := 0
-	for _, p := range peers {
+	for _, p := range c.peers {
 		// Count the event pending before the enqueue so the graceful drain
-		// in Close can never observe it queued but uncounted.
+		// in Close can never observe it queued but uncounted. The reference
+		// is taken before the enqueue for the same reason: the writer may
+		// pull the record off the outbox immediately.
 		p.pending.Add(1)
+		rec.refs.Add(1)
 		select {
-		case p.outbox <- frame:
+		case p.outbox <- rec:
 			sent++
 		default:
 			p.pending.Add(-1)
+			rec.refs.Add(-1) // cannot hit zero: the submitter's ref is live
 			c.queueDrops.Add(1)
 		}
 	}
+	c.mu.Unlock()
 	c.eventsSent.Add(uint64(sent))
 	c.bytesSent.Add(uint64(sent * len(payload)))
+	rec.release()
 	return sent, nil
 }
 
@@ -740,12 +914,14 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
+	rec := c.encodeRecord(payload)
 	p.pending.Add(1)
 	select {
-	case p.outbox <- c.encodeEvent(payload):
+	case p.outbox <- rec: // the caller's sole reference transfers to the outbox
 	default:
 		p.pending.Add(-1)
 		c.queueDrops.Add(1)
+		rec.release()
 		return fmt.Errorf("%w: peer %q on channel %q", ErrOutboxFull, peerID, c.name)
 	}
 	c.eventsSent.Add(1)

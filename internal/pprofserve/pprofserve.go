@@ -1,0 +1,35 @@
+// Package pprofserve exposes the net/http/pprof profiling handlers on an
+// operator-chosen address, so the data-plane benchmarks can be compared
+// against a live node (CPU and allocation profiles of the real poll loop
+// and channel fan-out, not just the bench harness).
+package pprofserve
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Start serves /debug/pprof/ on addr and returns the bound address (useful
+// with a ":0" port). An empty addr disables profiling and returns "".
+//
+// The handlers run on their own mux and listener — nothing else is exposed,
+// and the default serve mux stays untouched.
+func Start(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

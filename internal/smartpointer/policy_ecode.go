@@ -55,7 +55,9 @@ type EcodePolicy struct {
 // NewEcodePolicy compiles policy source. The program must return an int —
 // one of the transform constants.
 func NewEcodePolicy(source string) (*EcodePolicy, error) {
-	f, err := ecode.Compile(source, PolicySpec())
+	// Cached: servers re-install the same policy source on every restart or
+	// re-subscription wave, so an unchanged string skips the front-end.
+	f, err := ecode.CompileCached(source, PolicySpec())
 	if err != nil {
 		return nil, fmt.Errorf("smartpointer: compiling policy: %w", err)
 	}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"sync"
 	"time"
 )
 
@@ -40,25 +42,84 @@ var (
 	ErrTrailing   = errors.New("wire: trailing bytes after last field")
 )
 
+// maxPooledBuf caps the capacity of scratch buffers retained by the package
+// pools. A frame may legally approach MaxFrameSize (16 MiB); keeping such a
+// buffer alive in a pool would pin it forever, so oversized scratch is
+// dropped after use and reallocated on the rare frames that need it.
+const maxPooledBuf = 64 << 10
+
+// frameScratch is the per-write scratch WriteFrame draws from a pool: the
+// fixed header, a two-element vector for the writev path, and a contiguous
+// buffer for the copying fallback.
+type frameScratch struct {
+	hdr  [HeaderSize]byte
+	vec  [2][]byte
+	bufs net.Buffers
+	buf  []byte
+}
+
+var frameScratchPool = sync.Pool{New: func() any { return new(frameScratch) }}
+
+func (s *frameScratch) release() {
+	s.vec[0], s.vec[1] = nil, nil // drop the payload reference
+	s.bufs = nil
+	if cap(s.buf) > maxPooledBuf {
+		s.buf = nil
+	}
+	frameScratchPool.Put(s)
+}
+
 // WriteFrame writes one frame (header + payload) to w.
+//
+// TCP connections take the writev path: header and payload go out in a
+// single vectored write (net.Buffers) with no copy. Every other writer gets
+// header and payload copied into a pooled scratch buffer and written with
+// one Write call. Both paths issue a single write, so the frame stays atomic
+// with respect to concurrent writers that serialize on a mutex around this
+// call, and neither allocates in steady state.
 func WriteFrame(w io.Writer, msgType uint8, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameSize
 	}
-	hdr := make([]byte, HeaderSize, HeaderSize+len(payload))
-	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
-	hdr[3] = msgType
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
-	// A single Write keeps the frame atomic with respect to concurrent
-	// writers that serialize on a mutex around this call.
-	_, err := w.Write(append(hdr, payload...))
+	s := frameScratchPool.Get().(*frameScratch)
+	defer s.release()
+	binary.BigEndian.PutUint16(s.hdr[0:2], Magic)
+	s.hdr[2] = Version
+	s.hdr[3] = msgType
+	binary.BigEndian.PutUint32(s.hdr[4:8], uint32(len(payload)))
+	if tc, ok := w.(*net.TCPConn); ok {
+		s.vec[0], s.vec[1] = s.hdr[:], payload
+		s.bufs = s.vec[:]
+		_, err := s.bufs.WriteTo(tc)
+		return err
+	}
+	s.buf = append(append(s.buf[:0], s.hdr[:]...), payload...)
+	_, err := w.Write(s.buf)
 	return err
 }
 
-// ReadFrame reads one frame from r, returning its type and payload.
+// ReadFrame reads one frame from r, returning its type and a freshly
+// allocated payload the caller owns. Hot paths that read many frames from
+// one connection should use a FrameReader (or ReadFrameInto) to reuse a
+// per-connection receive buffer instead.
 func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one frame from r, filling the payload into buf when it
+// fits buf's capacity (the returned payload then aliases buf) and allocating
+// a fresh slice only when the frame is larger. Callers maintaining a
+// per-connection receive buffer pass the previous returned payload's backing
+// buffer back in; FrameReader packages that pattern.
+func ReadFrameInto(r io.Reader, buf []byte) (msgType uint8, payload []byte, err error) {
 	var hdr [HeaderSize]byte
+	return readFrameInto(r, buf, hdr[:])
+}
+
+// readFrameInto is ReadFrameInto with a caller-owned header scratch, so a
+// FrameReader's steady state avoids the per-call header allocation (the
+// array would otherwise escape into the io.ReadFull interface call).
+func readFrameInto(r io.Reader, buf, hdr []byte) (msgType uint8, payload []byte, err error) {
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -73,9 +134,43 @@ func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
 	if n > MaxFrameSize {
 		return 0, nil, ErrFrameSize
 	}
-	payload = make([]byte, n)
+	if int(n) <= cap(buf) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: short frame payload: %w", err)
+	}
+	return msgType, payload, nil
+}
+
+// FrameReader reads length-prefixed frames from one connection, reusing a
+// single receive buffer across frames so the steady-state receive path does
+// not allocate. The buffer grows to the largest frame seen.
+//
+// Ownership contract: the payload returned by Next aliases the reader's
+// buffer and is valid only until the next Next call. A consumer that needs
+// the bytes longer must copy them before returning to the read loop.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	hdr [HeaderSize]byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads one frame, returning its type and payload. The payload is valid
+// only until the next call to Next.
+func (fr *FrameReader) Next() (msgType uint8, payload []byte, err error) {
+	msgType, payload, err = readFrameInto(fr.r, fr.buf, fr.hdr[:])
+	if err != nil {
+		return msgType, nil, err
+	}
+	if cap(payload) > cap(fr.buf) {
+		// Adopt the grown buffer so the next frame of this size reuses it.
+		fr.buf = payload[:cap(payload)]
 	}
 	return msgType, payload, nil
 }
@@ -93,17 +188,45 @@ func EncodeBatch(events [][]byte) []byte {
 	for _, ev := range events {
 		size += 4 + len(ev)
 	}
-	e := NewEncoder(size)
-	e.Uint32(uint32(len(events)))
+	return AppendBatch(make([]byte, 0, size), events)
+}
+
+// AppendBatch appends the batch encoding of events to dst and returns the
+// extended buffer, so a writer with a reusable scratch buffer can encode
+// batches without allocating.
+func AppendBatch(dst []byte, events [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(events)))
 	for _, ev := range events {
-		e.BytesField(ev)
+		dst = AppendBytesField(dst, ev)
 	}
-	return e.Bytes()
+	return dst
 }
 
 // DecodeBatch unpacks a batch frame payload into its event payloads, in the
-// order they were encoded. Each returned slice is an independent copy.
+// order they were encoded. Each returned slice is an independent copy; for
+// the zero-copy variant see DecodeBatchInto.
 func DecodeBatch(buf []byte) ([][]byte, error) {
+	events, err := DecodeBatchInto(nil, buf)
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range events {
+		out := make([]byte, len(ev))
+		copy(out, ev)
+		events[i] = out
+	}
+	return events, nil
+}
+
+// DecodeBatchInto unpacks a batch frame payload, appending each event to dst
+// (reusing dst's backing array) and returning the extended slice.
+//
+// Zero-copy ownership contract: the appended event slices are subslices of
+// buf — no bytes are copied. They are valid only while the caller owns buf;
+// once buf is reused (e.g. the connection's receive buffer accepts the next
+// frame) every returned event aliases the new contents. Consumers must
+// finish with, or copy, each event before releasing buf.
+func DecodeBatchInto(dst [][]byte, buf []byte) ([][]byte, error) {
 	d := NewDecoder(buf)
 	n := d.Uint32()
 	if d.Err() != nil {
@@ -114,14 +237,16 @@ func DecodeBatch(buf []byte) ([][]byte, error) {
 	if int64(n)*4 > int64(d.Remaining()) {
 		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrBadBatch, n)
 	}
-	events := make([][]byte, 0, n)
+	if dst == nil {
+		dst = make([][]byte, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
-		events = append(events, d.BytesField())
+		dst = append(dst, d.BytesFieldView())
 	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
 	}
-	return events, nil
+	return dst, nil
 }
 
 // Encoder serializes fields into a growable buffer. The zero value is ready
@@ -132,6 +257,27 @@ type Encoder struct {
 
 // NewEncoder returns an Encoder with capacity preallocated for n bytes.
 func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled Encoder, empty and ready to use. Release it
+// with Release once the encoded bytes have been consumed; the bytes returned
+// by Bytes are owned by the encoder and die with the Release.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// Release returns a pooled encoder for reuse. The encoder and any slice
+// obtained from Bytes must not be used afterwards. Oversized scratch
+// (beyond 64 KiB) is dropped so the pool cannot pin large frames.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encoderPool.Put(e)
+}
 
 // Bytes returns the encoded buffer. The buffer is owned by the encoder and
 // valid until the next mutating call.
@@ -189,6 +335,21 @@ func (e *Encoder) String(s string) {
 func (e *Encoder) BytesField(b []byte) {
 	e.Uint32(uint32(len(b)))
 	e.buf = append(e.buf, b...)
+}
+
+// AppendString appends a length-prefixed string to dst (the Encoder.String
+// encoding) and returns the extended buffer, for callers that manage their
+// own scratch buffers instead of an Encoder.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytesField appends a length-prefixed byte slice to dst (the
+// Encoder.BytesField encoding) and returns the extended buffer.
+func AppendBytesField(dst []byte, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
 }
 
 // Decoder deserializes fields from a buffer with a sticky error: after the
@@ -309,4 +470,22 @@ func (d *Decoder) BytesField() []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// BytesFieldView reads a length-prefixed byte slice without copying. The
+// result aliases the decoder's backing buffer and is only valid while that
+// buffer is; callers that hand the buffer back (pooled receive buffers) must
+// consume or copy the view first.
+func (d *Decoder) BytesFieldView() []byte {
+	n := d.Uint32()
+	return d.take(int(n))
+}
+
+// StringBytes reads a length-prefixed string field, returning its raw bytes
+// without the string allocation. Like BytesFieldView, the result aliases the
+// decoder's buffer. Hot paths use it to compare or intern identifiers
+// without allocating per record.
+func (d *Decoder) StringBytes() []byte {
+	n := d.Uint32()
+	return d.take(int(n))
 }
