@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check figures bench
+.PHONY: build test race vet check figures bench allocgate
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,10 @@ figures:
 
 # bench runs the tsdb, kecho fan-out and end-to-end hot-path benchmarks
 # (bounded so the target stays quick) and records machine-readable results in
-# BENCH_tsdb.json, BENCH_kecho.json and BENCH_hotpath.json via cmd/benchjson.
-# allocs/op in the kecho and hotpath files is the zero-allocation data-plane
-# regression gate (DESIGN.md §8).
+# BENCH_tsdb.json, BENCH_kecho.json, BENCH_hotpath.json and BENCH_obs.json via
+# cmd/benchjson. allocs/op in the kecho and hotpath files is the
+# zero-allocation data-plane regression gate (DESIGN.md §8); BENCH_obs.json
+# compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9).
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json
@@ -34,3 +35,16 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_kecho.json
 	$(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$' -benchmem -benchtime 1000x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+
+# allocgate asserts the tracing-off hot path is still allocation-free: every
+# allocs/op figure from the baseline hot path and the observability-off
+# variant must be exactly 0. This is the CI guard that the self-observability
+# layer cannot regress PR 4's zero-allocation steady state.
+allocgate:
+	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . && \
+		$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$/^off$$' -benchmem -benchtime 1000x . ); \
+	echo "$$out"; \
+	bad=$$(echo "$$out" | grep 'allocs/op' | awk '$$(NF-1) != 0'); \
+	if [ -n "$$bad" ]; then echo "allocgate: nonzero allocs/op:"; echo "$$bad"; exit 1; fi

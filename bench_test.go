@@ -22,6 +22,7 @@ import (
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
 	"dproc/internal/netsim"
+	"dproc/internal/obs"
 	"dproc/internal/registry"
 	"dproc/internal/simres"
 	"dproc/internal/smartpointer"
@@ -898,6 +899,24 @@ func BenchmarkSubmitFanout(b *testing.B) {
 // steady-state allocation; allocs/op is the number to watch in
 // BENCH_hotpath.json.
 func BenchmarkHotPath(b *testing.B) {
+	runHotPath(b, nil, nil)
+}
+
+// BenchmarkHotPathObs is the same end-to-end round with the observability
+// layer attached: "off" has histograms live but tracing disabled — the
+// configuration CI pins at 0 allocs/op — and "sampled_1_1024" traces one
+// event in 1024, the default production rate, whose throughput BENCH_obs.json
+// tracks against the untraced baseline.
+func BenchmarkHotPathObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		runHotPath(b, obs.New("pub", nil, 0), obs.New("sub", nil, 0))
+	})
+	b.Run("sampled_1_1024", func(b *testing.B) {
+		runHotPath(b, obs.New("pub", nil, 1024), obs.New("sub", nil, 1024))
+	})
+}
+
+func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 	src := `
 {
   int i = 0;
@@ -927,12 +946,13 @@ func BenchmarkHotPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { reg.Close() })
-	join := func(id string) *kecho.Channel {
+	join := func(id string, o *obs.Observer) *kecho.Channel {
 		cli := registry.NewClient(reg.Addr())
 		b.Cleanup(func() { cli.Close() })
 		ch, err := kecho.Join(cli, "hotpath", id, &kecho.Options{
 			WriteDeadline:    2 * time.Second,
 			DisableReconnect: true,
+			Observer:         o,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -940,8 +960,8 @@ func BenchmarkHotPath(b *testing.B) {
 		b.Cleanup(func() { ch.Close() })
 		return ch
 	}
-	sub := join("sub")
-	pub := join("pub")
+	sub := join("sub", subObs)
+	pub := join("pub", pubObs)
 	if !pub.WaitForPeers(1, 5*time.Second) || !sub.WaitForPeers(1, 5*time.Second) {
 		b.Fatal("hot-path mesh did not form")
 	}
@@ -961,7 +981,17 @@ func BenchmarkHotPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env.Reset()
 		vm := pool.Get()
-		_, rerr := filter.Run(vm, env)
+		// Like d-mon's PollOnce: the trace decision is made when the round
+		// begins, so the filter span and everything downstream share the ID.
+		tid := pubObs.SampleTrace()
+		var rerr error
+		if pubObs != nil {
+			var dur time.Duration
+			_, dur, rerr = filter.RunTimed(vm, env)
+			pubObs.ObserveFilter(dur, tid)
+		} else {
+			_, rerr = filter.Run(vm, env)
+		}
 		pool.Put(vm)
 		if rerr != nil {
 			b.Fatal(rerr)
@@ -975,7 +1005,7 @@ func BenchmarkHotPath(b *testing.B) {
 			payload = binary.BigEndian.AppendUint64(payload, uint64(rec.ID))
 			payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(rec.Value))
 		}
-		if _, serr := pub.Submit(payload); serr != nil {
+		if _, serr := pub.SubmitTraced(payload, tid); serr != nil {
 			b.Fatal(serr)
 		}
 		for got.Load() < int64(i+1) {

@@ -8,9 +8,13 @@
 //	dprocctl -node 127.0.0.1:7501 cat cluster/maui/loadavg
 //	dprocctl -node 127.0.0.1:7501 tree
 //	dprocctl -node 127.0.0.1:7501 status
+//	dprocctl -node 127.0.0.1:7501 stats
 //	dprocctl -node 127.0.0.1:7501 write cluster/maui/control 'period cpu 2'
 //	cat filter.ec | dprocctl -node 127.0.0.1:7501 write cluster/maui/control -
 //	dprocctl -node 127.0.0.1:7501 query maui 'avg loadavg last 60s'
+//
+// The verb list and usage text derive from the adminproto verb table: a verb
+// added to the protocol appears here without touching this file's dispatch.
 package main
 
 import (
@@ -23,6 +27,94 @@ import (
 	"dproc/internal/adminproto"
 )
 
+// run executes one verb against the client. Keyed by the verb names in
+// adminproto's table; the usage text comes from the table itself.
+var run = map[string]func(c *adminproto.Client, args []string) error{
+	"ls": func(c *adminproto.Client, args []string) error {
+		path := ""
+		if len(args) > 0 {
+			path = args[0]
+		}
+		entries, err := c.List(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Println(e)
+		}
+		return nil
+	},
+	"cat": func(c *adminproto.Client, args []string) error {
+		out, err := c.Cat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
+	"tree": func(c *adminproto.Client, args []string) error {
+		path := "cluster"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		out, err := c.Tree(path)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
+	"status": func(c *adminproto.Client, _ []string) error {
+		out, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
+	"stats": func(c *adminproto.Client, _ []string) error {
+		out, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
+	"write": func(c *adminproto.Client, args []string) error {
+		if len(args) < 2 {
+			return errUsage
+		}
+		var body string
+		if args[1] == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return err
+			}
+			body = string(data)
+		} else {
+			body = strings.Join(args[1:], " ")
+		}
+		if err := c.Write(args[0], body); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	},
+	"query": func(c *adminproto.Client, args []string) error {
+		if len(args) < 2 {
+			return errUsage
+		}
+		out, err := c.Query(args[0], strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
+}
+
+var errUsage = fmt.Errorf("bad arguments")
+
 func main() {
 	node := flag.String("node", "127.0.0.1:7501", "dprocd admin socket address")
 	flag.Parse()
@@ -30,74 +122,20 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	client := adminproto.NewClient(*node)
-	switch args[0] {
-	case "ls":
-		path := ""
-		if len(args) > 1 {
-			path = args[1]
-		}
-		entries, err := client.List(path)
-		if err != nil {
-			fatal(err)
-		}
-		for _, e := range entries {
-			fmt.Println(e)
-		}
-	case "cat":
-		if len(args) < 2 {
-			usage()
-		}
-		out, err := client.Cat(args[1])
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(out)
-	case "tree":
-		path := "cluster"
-		if len(args) > 1 {
-			path = args[1]
-		}
-		out, err := client.Tree(path)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(out)
-	case "status":
-		out, err := client.Status()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(out)
-	case "write":
-		if len(args) < 3 {
-			usage()
-		}
-		var body string
-		if args[2] == "-" {
-			data, err := io.ReadAll(os.Stdin)
-			if err != nil {
-				fatal(err)
-			}
-			body = string(data)
-		} else {
-			body = strings.Join(args[2:], " ")
-		}
-		if err := client.Write(args[1], body); err != nil {
-			fatal(err)
-		}
-		fmt.Println("ok")
-	case "query":
-		if len(args) < 3 {
-			usage()
-		}
-		out, err := client.Query(args[1], strings.Join(args[2:], " "))
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(out)
-	default:
+	verb, ok := adminproto.LookupVerb(args[0])
+	fn := run[args[0]]
+	if !ok || fn == nil {
 		usage()
+	}
+	if len(args)-1 < verb.MinArgs {
+		usage()
+	}
+	client := adminproto.NewClient(*node)
+	if err := fn(client, args[1:]); err != nil {
+		if err == errUsage {
+			usage()
+		}
+		fatal(err)
 	}
 }
 
@@ -106,13 +144,25 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// usage renders the verb list from the adminproto table, so the CLI can
+// never advertise a verb set different from what the server dispatches.
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  dprocctl [-node addr] ls [path]
-  dprocctl [-node addr] cat <path>
-  dprocctl [-node addr] tree [path]
-  dprocctl [-node addr] status
-  dprocctl [-node addr] write <path> <data...|->
-  dprocctl [-node addr] query <node> <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]`)
+	var sb strings.Builder
+	sb.WriteString("usage:\n")
+	for _, v := range adminproto.Verbs() {
+		argSyn := v.CLIArgs
+		if argSyn == "" {
+			argSyn = v.Args
+		}
+		line := "  dprocctl [-node addr] " + v.Name
+		if argSyn != "" {
+			line += " " + argSyn
+		}
+		if v.Help != "" {
+			line = fmt.Sprintf("%-68s # %s", line, v.Help)
+		}
+		sb.WriteString(line + "\n")
+	}
+	fmt.Fprint(os.Stderr, sb.String())
 	os.Exit(2)
 }

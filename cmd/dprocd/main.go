@@ -8,6 +8,7 @@
 //
 //	dprocd -name alan -registry 127.0.0.1:7420 -admin 127.0.0.1:7501
 //	dprocd -name sim0 -registry 127.0.0.1:7420 -sim -load 2.5
+//	dprocd -name alan -metrics 127.0.0.1:9090   # Prometheus /metrics
 package main
 
 import (
@@ -22,33 +23,29 @@ import (
 	"dproc/internal/clock"
 	"dproc/internal/core"
 	"dproc/internal/dmon"
-	"dproc/internal/kecho"
+	"dproc/internal/obs"
 	"dproc/internal/pprofserve"
 	"dproc/internal/simres"
 )
 
 func main() {
+	// Every data-plane knob binds through core.BindFlags from one validated
+	// Config; only deployment concerns (admin socket, simulation, debug
+	// endpoints) are dprocd's own flags.
+	cfg := core.Defaults()
+	cfg.Name = hostnameDefault()
+	cfg.RegistryAddr = "127.0.0.1:7420"
+	cfg.Clock = clock.NewReal()
+	core.BindFlags(flag.CommandLine, &cfg)
 	var (
-		name    = flag.String("name", hostnameDefault(), "cluster-unique node name")
-		regAddr = flag.String("registry", "127.0.0.1:7420", "channel registry address")
 		admin   = flag.String("admin", "127.0.0.1:0", "admin socket for dprocctl (empty disables)")
-		period  = flag.Duration("period", time.Second, "poll loop period")
-		padding = flag.Int("padding", 0, "extra bytes per monitoring event")
 		sim     = flag.Bool("sim", false, "use a simulated host instead of the live /proc")
 		simLoad = flag.Float64("load", 0, "simulated base CPU load (with -sim)")
 		battery = flag.Float64("battery", 0, "battery capacity in Wh; >0 registers the POWER_MON module (with -sim)")
 		noJoin  = flag.Bool("standalone", false, "do not join a cluster (local monitoring only)")
 
-		historyDepth = flag.Int("history-depth", 0, "default history view size in samples (0 = built-in 64)")
-		retention    = flag.Duration("retention", 0, "raw history retention per metric (0 = built-in 1h, <0 = unbounded)")
-
-		writeDeadline = flag.Duration("write-deadline", 5*time.Second, "per-peer send deadline (<0 disables)")
-		outbox        = flag.Int("outbox", 0, "per-peer outbound queue size in events (0 = built-in 1024)")
-		maxBatch      = flag.Int("max-batch", 0, "max events coalesced per frame by peer writers (0 = built-in 64, 1 disables)")
-		reconnect     = flag.Duration("reconnect", 250*time.Millisecond, "base interval of the mesh reconnect supervisor")
-		noHeal        = flag.Bool("no-heal", false, "disable the reconnect supervisor and registry heartbeats")
-
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -59,26 +56,12 @@ func main() {
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
 	}
 
-	cfg := core.Config{
-		Name:             *name,
-		Clock:            clock.NewReal(),
-		Padding:          *padding,
-		HistoryDepth:     *historyDepth,
-		HistoryRetention: *retention,
-		ChannelOptions: &kecho.Options{
-			WriteDeadline:     *writeDeadline,
-			OutboxSize:        *outbox,
-			MaxBatch:          *maxBatch,
-			ReconnectInterval: *reconnect,
-			DisableReconnect:  *noHeal,
-		},
-	}
-	if !*noJoin {
-		cfg.RegistryAddr = *regAddr
+	if *noJoin {
+		cfg.RegistryAddr = ""
 	}
 	var simHost *simres.Host
 	if *sim {
-		simHost = simres.NewHost(*name, cfg.Clock, time.Now().UnixNano())
+		simHost = simres.NewHost(cfg.Name, cfg.Clock, time.Now().UnixNano())
 		simHost.SetBaseLoad(*simLoad)
 		cfg.Source = simHost
 	}
@@ -95,18 +78,24 @@ func main() {
 		node.DMon().Register(dmon.PowerModule(simHost))
 		fmt.Printf("POWER_MON registered (%.0f Wh battery)\n", *battery)
 	}
-	node.StartPolling(*period)
-	fmt.Printf("dprocd %q polling every %v", *name, *period)
+	if addr, err := obs.ServeMetrics(*metricsAddr, node.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
+	node.StartPolling(cfg.PollPeriod)
+	fmt.Printf("dprocd %q polling every %v", cfg.Name, cfg.PollPeriod)
 	if cfg.RegistryAddr != "" {
 		fmt.Printf(", registry %s", cfg.RegistryAddr)
-		if *noHeal {
+		if cfg.Channel.DisableReconnect {
 			fmt.Printf(" (self-healing off)")
 		} else {
-			fmt.Printf(" (heartbeat/heal every %v)", *reconnect)
+			fmt.Printf(" (heartbeat/heal every %v)", cfg.Channel.ReconnectInterval)
 		}
 	}
 	fmt.Println()
-	fmt.Printf("health counters at cluster/%s/health (via dprocctl)\n", *name)
+	fmt.Printf("health counters at cluster/%s/health, stats at cluster/%s/stats (via dprocctl)\n", cfg.Name, cfg.Name)
 
 	if *admin != "" {
 		srv, err := adminproto.NewServer(node, *admin)

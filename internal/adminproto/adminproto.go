@@ -6,11 +6,18 @@
 //	cat <path>\n             → OK\n<file contents>
 //	tree [path]\n            → OK\n<indented hierarchy>
 //	status\n                 → OK\n<node status lines>
+//	stats\n                  → OK\n<self-observability report>
 //	write <path>\n<body EOF> → OK\n
 //	query <node> <query>\n   → OK\n<windowed aggregate result>
 //
 // query is sugar over the cluster/<node>/query pseudo-file: it writes the
-// query string and reads the result back in one round trip.
+// query string and reads the result back in one round trip; stats is sugar
+// over cluster/<self>/stats.
+//
+// Every verb is an entry in one table (Verbs) carrying its name, argument
+// schema and handler; the server dispatch, its usage errors and dprocctl's
+// usage text all derive from that table, so adding a verb is one entry, not
+// three hand-synchronized switch arms.
 //
 // Errors come back as a single "ERR <message>" line. The protocol exists so
 // the pseudo-filesystem contract of the paper ("simple reads and writes to
@@ -85,6 +92,69 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Verb is one admin-protocol command: its wire name, argument schema and
+// handler. The table below is the protocol's single definition — the server
+// dispatches from it, usage errors derive from Args, and dprocctl renders
+// its usage text from Name, CLIArgs and Help.
+type Verb struct {
+	// Name is the verb as written on the wire and the CLI.
+	Name string
+	// Args is the wire-side argument synopsis; usage errors are
+	// "usage: <Name> <Args>".
+	Args string
+	// CLIArgs is the dprocctl-side synopsis when it differs from Args
+	// (write takes inline data or "-" for stdin on the CLI).
+	CLIArgs string
+	// Help is the one-line description for usage listings.
+	Help string
+	// MinArgs is how many arguments the verb requires on the wire.
+	MinArgs int
+	// Body marks verbs that read a request body after the command line.
+	Body bool
+
+	run func(s *Server, args []string, body *bufio.Reader, reply func(string))
+}
+
+// verbs is the protocol definition, in listing order.
+var verbs = []Verb{
+	{Name: "ls", Args: "[path]", Help: "list a directory", run: runLs},
+	{Name: "cat", Args: "<path>", MinArgs: 1, Help: "print a pseudo-file", run: runCat},
+	{Name: "tree", Args: "[path]", Help: "print the hierarchy", run: runTree},
+	{Name: "status", Help: "print node status", run: runStatus},
+	{Name: "stats", Help: "print the node's self-observability report", run: runStats},
+	{Name: "write", Args: "<path> then body until EOF", CLIArgs: "<path> <data...|->", MinArgs: 1, Body: true,
+		Help: "write a control file", run: runWrite},
+	{Name: "query", Args: "<node> <agg> <metric> [window]",
+		CLIArgs: "<node> <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]",
+		MinArgs: 2, Help: "run a windowed aggregate over a node's history", run: runQuery},
+}
+
+// Verbs returns the protocol's verb table in listing order.
+func Verbs() []Verb {
+	out := make([]Verb, len(verbs))
+	copy(out, verbs)
+	return out
+}
+
+// LookupVerb finds a verb by name.
+func LookupVerb(name string) (Verb, bool) {
+	for _, v := range verbs {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Verb{}, false
+}
+
+// verbNames lists every verb name, for the unknown-command error.
+func verbNames() string {
+	names := make([]string, len(verbs))
+	for i, v := range verbs {
+		names[i] = v.Name
+	}
+	return strings.Join(names, ", ")
+}
+
 func (s *Server) serve(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	r := bufio.NewReader(conn)
@@ -98,93 +168,104 @@ func (s *Server) serve(conn net.Conn) {
 		reply("ERR empty command\n")
 		return
 	}
-	fs := s.node.FS()
-	switch fields[0] {
-	case "ls":
-		path := ""
-		if len(fields) > 1 {
-			path = fields[1]
-		}
-		entries, err := fs.ReadDir(path)
-		if err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		reply("OK\n")
-		for _, e := range entries {
-			name := e.Name
-			if e.IsDir {
-				name += "/"
-			}
-			reply(name + "\n")
-		}
-	case "cat":
-		if len(fields) < 2 {
-			reply("ERR usage: cat <path>\n")
-			return
-		}
-		content, err := fs.ReadFile(fields[1])
-		if err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		reply("OK\n" + content)
-	case "tree":
-		path := "cluster"
-		if len(fields) > 1 {
-			path = fields[1]
-		}
-		tree, err := fs.Tree(path)
-		if err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		reply("OK\n" + tree)
-	case "write":
-		if len(fields) < 2 {
-			reply("ERR usage: write <path> then body until EOF\n")
-			return
-		}
-		body, err := io.ReadAll(r)
-		if err != nil {
-			reply("ERR reading body: " + err.Error() + "\n")
-			return
-		}
-		if err := fs.WriteFile(fields[1], string(body)); err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		reply("OK\n")
-	case "query":
-		if len(fields) < 3 {
-			reply("ERR usage: query <node> <agg> <metric> [window]\n")
-			return
-		}
-		path := "cluster/" + fields[1] + "/query"
-		q := strings.Join(fields[2:], " ")
-		if err := fs.WriteFile(path, q); err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		result, err := fs.ReadFile(path)
-		if err != nil {
-			reply("ERR " + err.Error() + "\n")
-			return
-		}
-		reply("OK\n" + result)
-	case "status":
-		reply("OK\n")
-		d := s.node.DMon()
-		reply(fmt.Sprintf("node %s\nmodules %s\nfilter_errors %d\n",
-			s.node.Name(), strings.Join(d.Modules(), ","), d.FilterErrors()))
-		for _, remote := range d.Store().Nodes() {
-			last, count := d.Store().LastReport(remote)
-			reply(fmt.Sprintf("peer %s reports=%d last=%s\n",
-				remote, count, last.Format(time.RFC3339)))
-		}
-	default:
-		reply("ERR unknown command " + fields[0] + " (have ls, cat, tree, write, query, status)\n")
+	v, ok := LookupVerb(fields[0])
+	if !ok {
+		reply("ERR unknown command " + fields[0] + " (have " + verbNames() + ")\n")
+		return
 	}
+	args := fields[1:]
+	if len(args) < v.MinArgs {
+		reply("ERR usage: " + v.Name + " " + v.Args + "\n")
+		return
+	}
+	v.run(s, args, r, reply)
+}
+
+func runLs(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	path := ""
+	if len(args) > 0 {
+		path = args[0]
+	}
+	entries, err := s.node.FS().ReadDir(path)
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n")
+	for _, e := range entries {
+		name := e.Name
+		if e.IsDir {
+			name += "/"
+		}
+		reply(name + "\n")
+	}
+}
+
+func runCat(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	content, err := s.node.FS().ReadFile(args[0])
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n" + content)
+}
+
+func runTree(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	path := "cluster"
+	if len(args) > 0 {
+		path = args[0]
+	}
+	tree, err := s.node.FS().Tree(path)
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n" + tree)
+}
+
+func runStatus(s *Server, _ []string, _ *bufio.Reader, reply func(string)) {
+	reply("OK\n")
+	d := s.node.DMon()
+	reply(fmt.Sprintf("node %s\nmodules %s\nfilter_errors %d\n",
+		s.node.Name(), strings.Join(d.Modules(), ","), d.FilterErrors()))
+	for _, remote := range d.Store().Nodes() {
+		last, count := d.Store().LastReport(remote)
+		reply(fmt.Sprintf("peer %s reports=%d last=%s\n",
+			remote, count, last.Format(time.RFC3339)))
+	}
+}
+
+func runStats(s *Server, _ []string, _ *bufio.Reader, reply func(string)) {
+	reply("OK\n" + s.node.StatsText())
+}
+
+func runWrite(s *Server, args []string, body *bufio.Reader, reply func(string)) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		reply("ERR reading body: " + err.Error() + "\n")
+		return
+	}
+	if err := s.node.FS().WriteFile(args[0], string(data)); err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n")
+}
+
+func runQuery(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	fs := s.node.FS()
+	path := "cluster/" + args[0] + "/query"
+	q := strings.Join(args[1:], " ")
+	if err := fs.WriteFile(path, q); err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	result, err := fs.ReadFile(path)
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n" + result)
 }
 
 // Client issues admin protocol requests.
@@ -263,6 +344,12 @@ func (c *Client) Tree(path string) (string, error) {
 // Status returns the node's status block.
 func (c *Client) Status() (string, error) {
 	return c.roundTrip("status\n", nil)
+}
+
+// Stats returns the node's self-observability report: counters, gauges,
+// latency distributions (p50/p95/p99) and recent sampled traces.
+func (c *Client) Stats() (string, error) {
+	return c.roundTrip("stats\n", nil)
 }
 
 // Write delivers data to a pseudo-file (typically a control file).

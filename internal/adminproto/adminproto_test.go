@@ -43,8 +43,59 @@ func TestListRootAndNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != int(metrics.NumIDs)+3 { // metrics + control + config + health
-		t.Fatalf("files = %d, want %d", len(files), int(metrics.NumIDs)+3)
+	if len(files) != int(metrics.NumIDs)+4 { // metrics + control + config + health + stats
+		t.Fatalf("files = %d, want %d", len(files), int(metrics.NumIDs)+4)
+	}
+}
+
+func TestStatsVerb(t *testing.T) {
+	_, c, _ := newServer(t)
+	out, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"node alan",
+		"obs filter_run",
+		"obs prop_delay",
+		"obs queue_residency",
+		"p95_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+	// The same report backs the cluster/<node>/stats pseudo-file.
+	file, err := c.Cat("cluster/alan/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(file, "obs filter_run") {
+		t.Fatalf("stats pseudo-file = %q", file)
+	}
+}
+
+func TestVerbTableCoversDispatch(t *testing.T) {
+	names := map[string]bool{}
+	for _, v := range Verbs() {
+		if v.Name == "" || v.run == nil {
+			t.Fatalf("verb %+v incomplete", v)
+		}
+		if names[v.Name] {
+			t.Fatalf("duplicate verb %q", v.Name)
+		}
+		names[v.Name] = true
+		if got, ok := LookupVerb(v.Name); !ok || got.Name != v.Name {
+			t.Fatalf("LookupVerb(%q) = %v, %v", v.Name, got, ok)
+		}
+	}
+	for _, required := range []string{"ls", "cat", "tree", "status", "stats", "write", "query"} {
+		if !names[required] {
+			t.Fatalf("verb table missing %q", required)
+		}
+	}
+	if _, ok := LookupVerb("frobnicate"); ok {
+		t.Fatal("LookupVerb accepted an unknown verb")
 	}
 }
 

@@ -1,0 +1,78 @@
+// Node configuration: one validated Config struct is the single source of
+// truth for every tuning knob, from the poll period down to the channel
+// writers' batch size. Defaults() returns the paper's defaults, Validate
+// rejects nonsense before any resource is acquired, and BindFlags maps the
+// whole surface onto a flag set once — dprocd's flags, core.Config fields
+// and kecho.Options can no longer drift apart.
+
+package core
+
+import (
+	"flag"
+	"fmt"
+
+	"dproc/internal/dmon"
+	"dproc/internal/kecho"
+)
+
+// DefaultTraceSample is the default tracing rate: one monitoring event in
+// 1024 carries a trace, cheap enough to leave on in production.
+const DefaultTraceSample = 1024
+
+// Defaults returns the node configuration with every knob at its built-in
+// default: 1-second polling, the paper's channel sizing, one traced event
+// per 1024. Callers set Name (required) and override what they need.
+func Defaults() Config {
+	return Config{
+		PollPeriod:       dmon.DefaultPeriod,
+		HistoryDepth:     dmon.HistoryDepth,
+		HistoryRetention: dmon.DefaultRetention,
+		Channel:          kecho.DefaultOptions(),
+		TraceSample:      DefaultTraceSample,
+	}
+}
+
+// Validate rejects configurations that would otherwise fail obscurely at
+// runtime. The zero value of every optional field is valid (it selects the
+// built-in default); only actively contradictory settings error.
+func (cfg *Config) Validate() error {
+	if cfg.Name == "" {
+		return fmt.Errorf("core: node name required")
+	}
+	if cfg.Padding < 0 {
+		return fmt.Errorf("core: negative padding %d", cfg.Padding)
+	}
+	if cfg.HistoryDepth < 0 {
+		return fmt.Errorf("core: negative history depth %d", cfg.HistoryDepth)
+	}
+	if cfg.PollPeriod < 0 {
+		return fmt.Errorf("core: negative poll period %v", cfg.PollPeriod)
+	}
+	if cfg.Channel.InboxSize < 0 || cfg.Channel.OutboxSize < 0 {
+		return fmt.Errorf("core: negative channel queue size")
+	}
+	if cfg.Channel.MaxBatch < 0 {
+		return fmt.Errorf("core: negative channel max batch %d", cfg.Channel.MaxBatch)
+	}
+	return nil
+}
+
+// BindFlags registers the node's tuning surface on fs, with cfg supplying
+// both the storage and the default values — call with cfg = Defaults() (plus
+// any overrides), then flag-parse. Deployment-specific flags (admin socket,
+// simulation, pprof) stay with the caller; everything that shapes the data
+// plane lives here so there is exactly one name per knob.
+func BindFlags(fs *flag.FlagSet, cfg *Config) {
+	fs.StringVar(&cfg.Name, "name", cfg.Name, "cluster-unique node name")
+	fs.StringVar(&cfg.RegistryAddr, "registry", cfg.RegistryAddr, "channel registry address (empty = standalone)")
+	fs.DurationVar(&cfg.PollPeriod, "period", cfg.PollPeriod, "poll loop period")
+	fs.IntVar(&cfg.Padding, "padding", cfg.Padding, "extra bytes per monitoring event")
+	fs.IntVar(&cfg.HistoryDepth, "history-depth", cfg.HistoryDepth, "default history view size in samples")
+	fs.DurationVar(&cfg.HistoryRetention, "retention", cfg.HistoryRetention, "raw history retention per metric (<0 = unbounded)")
+	fs.DurationVar(&cfg.Channel.WriteDeadline, "write-deadline", cfg.Channel.WriteDeadline, "per-peer send deadline (<0 disables)")
+	fs.IntVar(&cfg.Channel.OutboxSize, "outbox", cfg.Channel.OutboxSize, "per-peer outbound queue size in events")
+	fs.IntVar(&cfg.Channel.MaxBatch, "max-batch", cfg.Channel.MaxBatch, "max events coalesced per frame by peer writers (1 disables)")
+	fs.DurationVar(&cfg.Channel.ReconnectInterval, "reconnect", cfg.Channel.ReconnectInterval, "base interval of the mesh reconnect supervisor")
+	fs.BoolVar(&cfg.Channel.DisableReconnect, "no-heal", cfg.Channel.DisableReconnect, "disable the reconnect supervisor and registry heartbeats")
+	fs.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "trace one monitoring event in N (rounded up to a power of two; <=0 disables tracing)")
+}

@@ -15,12 +15,16 @@ import (
 	"dproc/internal/dmon"
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
+	"dproc/internal/obs"
 	"dproc/internal/registry"
 	"dproc/internal/sysinfo"
 	"dproc/internal/vfs"
 )
 
-// Config configures a dproc node.
+// Config configures a dproc node. The zero value of every field except Name
+// is valid and selects the built-in default; Defaults() returns the fully
+// populated starting point (see config.go for defaults, validation and flag
+// binding).
 type Config struct {
 	// Name is the node's cluster-unique name (its channel member ID).
 	Name string
@@ -34,10 +38,14 @@ type Config struct {
 	Source dmon.Source
 	// Padding adds bytes to every monitoring event (evaluation knob).
 	Padding int
-	// ChannelOptions tunes the KECho channels (nil for defaults), including
-	// the async fan-out knobs: OutboxSize (per-peer outbound queue) and
-	// MaxBatch (events coalesced per frame by the peer writers).
-	ChannelOptions *kecho.Options
+	// Channel tunes the KECho channels, including the async fan-out knobs:
+	// OutboxSize (per-peer outbound queue) and MaxBatch (events coalesced
+	// per frame by the peer writers). Zero fields take kecho's defaults;
+	// the node's clock, metric registry and observer are filled in here.
+	Channel kecho.Options
+	// PollPeriod is the node poll-loop interval used by callers of
+	// StartPolling (dmon.DefaultPeriod when zero).
+	PollPeriod time.Duration
 	// HistoryDepth is the default size of the history view served by
 	// cluster/<node>/history/<metric> (dmon.HistoryDepth when zero).
 	HistoryDepth int
@@ -45,6 +53,10 @@ type Config struct {
 	// the tsdb store (dmon.DefaultRetention when zero, unbounded when
 	// negative).
 	HistoryRetention time.Duration
+	// TraceSample samples one monitoring event in TraceSample for per-stage
+	// latency tracing (rounded up to a power of two). Zero or negative
+	// disables tracing; the latency histograms stay on regardless.
+	TraceSample int
 }
 
 // Node is one dproc participant.
@@ -53,6 +65,9 @@ type Node struct {
 	clk  clock.Clock
 	d    *dmon.DMon
 	fs   *vfs.FS
+
+	metrics *metrics.Registry
+	obs     *obs.Observer
 
 	regCli *registry.Client
 	mon    *kecho.Channel
@@ -69,8 +84,8 @@ type Node struct {
 // NewNode constructs a node, joins the cluster channels (if a registry is
 // configured) and builds the initial /proc hierarchy.
 func NewNode(cfg Config) (*Node, error) {
-	if cfg.Name == "" {
-		return nil, fmt.Errorf("core: node name required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	clk := cfg.Clock
 	if clk == nil {
@@ -90,17 +105,24 @@ func NewNode(cfg Config) (*Node, error) {
 		fs:      vfs.New(),
 		tracked: map[string]bool{},
 	}
+	// Every counter, gauge and latency distribution the node produces lives
+	// in this one registry; the health file, stats file, admin verb and
+	// Prometheus endpoint are all views over it.
+	n.metrics = metrics.NewRegistry()
+	n.obs = obs.New(cfg.Name, n.metrics, cfg.TraceSample)
+	n.d.SetObserver(n.obs)
 	n.d.SetPadding(cfg.Padding)
 	if cfg.RegistryAddr != "" {
 		// The channels inherit the node clock (unless overridden) so the
-		// reconnect supervisor paces itself on virtual time in simulations.
-		var chOpts kecho.Options
-		if cfg.ChannelOptions != nil {
-			chOpts = *cfg.ChannelOptions
-		}
+		// reconnect supervisor paces itself on virtual time in simulations,
+		// and share the node's registry and observer so their counters and
+		// per-stage spans land in the unified stats surface.
+		chOpts := cfg.Channel
 		if chOpts.Clock == nil {
 			chOpts.Clock = clk
 		}
+		chOpts.Metrics = n.metrics
+		chOpts.Observer = n.obs
 		n.regCli = registry.NewClient(cfg.RegistryAddr)
 		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, &chOpts)
 		if err != nil {
@@ -115,6 +137,7 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		n.mon, n.ctl = mon, ctl
 		n.d.Attach(mon, ctl)
+		n.regCli.RegisterMetrics(n.metrics)
 	}
 	n.buildSelfTree(src)
 	return n, nil
@@ -128,6 +151,13 @@ func (n *Node) DMon() *dmon.DMon { return n.d }
 
 // FS exposes the node's /proc-style filesystem.
 func (n *Node) FS() *vfs.FS { return n.fs }
+
+// Metrics exposes the node's unified metric registry — the single source
+// for the health file, stats file, admin verb and Prometheus endpoint.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
+
+// Observer exposes the node's observability collector.
+func (n *Node) Observer() *obs.Observer { return n.obs }
 
 // MonitoringChannel returns the monitoring channel (nil when standalone).
 func (n *Node) MonitoringChannel() *kecho.Channel { return n.mon }
@@ -159,26 +189,30 @@ func (n *Node) buildSelfTree(src dmon.Source) {
 		h := n.Health()
 		return h.Render(), nil
 	}, nil)
+	// stats exposes the node's full observability surface: every counter
+	// and gauge, the latency distributions with p50/p95/p99, and the most
+	// recent sampled traces with their per-stage breakdown.
+	_ = n.fs.Create(base+"/stats", func() (string, error) {
+		return n.StatsText(), nil
+	}, nil)
 }
 
-// Health snapshots the node's self-healing state: per-channel reconnect and
-// deadline counters plus the registry client's retry/heartbeat counters.
+// Health returns the node's self-healing view over the unified metric
+// registry: per-channel reconnect and deadline counters plus the registry
+// client's retry/heartbeat counters.
 func (n *Node) Health() metrics.Health {
-	h := metrics.Health{
-		Node:     n.name,
-		Channels: n.d.ChannelHealth(),
-	}
-	if n.regCli != nil {
-		s := n.regCli.Stats()
-		h.Registry = metrics.RegistryHealth{
-			Dials:      s.Dials,
-			Redials:    s.Redials,
-			Retries:    s.Retries,
-			Heartbeats: s.Heartbeats,
-			Rejoins:    s.Rejoins,
-		}
-	}
-	return h
+	return metrics.NewHealth(n.name, n.metrics)
+}
+
+// StatsText renders the node's complete stats report — the body of the
+// cluster/<node>/stats pseudo-file and the admin "stats" verb.
+func (n *Node) StatsText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %s\n", n.name)
+	fmt.Fprintf(&sb, "trace_sample_every %d\n", n.obs.SamplingEvery())
+	n.metrics.RenderText(&sb)
+	n.obs.RenderTraces(&sb, 16)
+	return sb.String()
 }
 
 // trackRemote ensures VFS entries exist for a remote node.

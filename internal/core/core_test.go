@@ -32,8 +32,8 @@ func TestStandaloneNodeLocalTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != int(metrics.NumIDs)+3 { // +control +config +health
-		t.Fatalf("entries = %d, want %d", len(entries), int(metrics.NumIDs)+3)
+	if len(entries) != int(metrics.NumIDs)+4 { // +control +config +health +stats
+		t.Fatalf("entries = %d, want %d", len(entries), int(metrics.NumIDs)+4)
 	}
 	got, err := n.FS().ReadFile("cluster/alan/loadavg")
 	if err != nil {
@@ -401,11 +401,14 @@ func TestHealthFileExposesSelfHealingCounters(t *testing.T) {
 		}
 	}
 	h := c.Nodes[0].Health()
-	if h.Registry.Dials < 1 {
-		t.Fatalf("Registry.Dials = %d, want >= 1", h.Registry.Dials)
+	if got := h.Value("registry", "", "dials"); got < 1 {
+		t.Fatalf("registry dials = %d, want >= 1", got)
 	}
-	if len(h.Channels) != 2 {
-		t.Fatalf("Channels = %d, want monitoring + control", len(h.Channels))
+	// Both channels register their counters under the unified registry.
+	for _, ch := range []string{"dproc.monitoring", "dproc.control"} {
+		if !strings.Contains(content, "channel "+ch+" ") {
+			t.Fatalf("health file missing channel %s:\n%s", ch, content)
+		}
 	}
 }
 

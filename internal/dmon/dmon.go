@@ -11,6 +11,7 @@ import (
 	"dproc/internal/ecode"
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
+	"dproc/internal/obs"
 	"dproc/internal/wire"
 )
 
@@ -43,6 +44,11 @@ type DMon struct {
 
 	monCh *kecho.Channel
 	ctlCh *kecho.Channel
+
+	// obs, when set, receives filter-execution timings and makes the
+	// per-report trace sampling decision at the top of PollOnce — the moment
+	// the event is born. Nil is fine: every call site is nil-safe.
+	obs *obs.Observer
 
 	// FilterErrors counts filter executions that failed at run time; the
 	// affected poll falls back to unfiltered submission.
@@ -85,6 +91,15 @@ func FilterSpec() *ecode.EnvSpec {
 		consts[name] = int64(idx)
 	}
 	return &ecode.EnvSpec{Consts: consts}
+}
+
+// SetObserver attaches the node's observability collector. Call before
+// polling starts; a nil observer (the default) keeps instrumentation to a
+// single branch per stage.
+func (d *DMon) SetObserver(o *obs.Observer) {
+	d.mu.Lock()
+	d.obs = o
+	d.mu.Unlock()
 }
 
 // Node returns the node name.
@@ -381,6 +396,12 @@ func (d *DMon) CollectDue(now time.Time) []metrics.Sample {
 // collected samples, returning the samples to send. It updates last-sent
 // bookkeeping for survivors.
 func (d *DMon) FilterSamples(now time.Time, samples []metrics.Sample) []metrics.Sample {
+	return d.filterSamples(now, samples, 0)
+}
+
+// filterSamples is FilterSamples carrying the report's trace ID (0 when
+// unsampled) so filter-execution spans attribute to the right trace.
+func (d *DMon) filterSamples(now time.Time, samples []metrics.Sample, tid uint64) []metrics.Sample {
 	if len(samples) == 0 {
 		return nil
 	}
@@ -418,7 +439,7 @@ func (d *DMon) FilterSamples(now time.Time, samples []metrics.Sample) []metrics.
 	}
 	out := candidates
 	if global != nil || hasPerRes {
-		out = d.runFilters(now, candidates, global, perRes)
+		out = d.runFilters(now, candidates, global, perRes, tid)
 	}
 	// Record what was sent.
 	d.mu.Lock()
@@ -436,8 +457,9 @@ func (d *DMon) FilterSamples(now time.Time, samples []metrics.Sample) []metrics.
 // values for everything observed so far) and its output determines what is
 // sent. Samples belonging to resources without any filter pass through
 // untouched.
-func (d *DMon) runFilters(now time.Time, candidates []metrics.Sample, global *ecode.Filter, perRes [metrics.NumResources]*ecode.Filter) []metrics.Sample {
+func (d *DMon) runFilters(now time.Time, candidates []metrics.Sample, global *ecode.Filter, perRes [metrics.NumResources]*ecode.Filter, tid uint64) []metrics.Sample {
 	d.mu.Lock()
+	o := d.obs
 	env := d.env
 	env.Reset()
 	for id := metrics.ID(0); id < metrics.NumIDs; id++ {
@@ -472,7 +494,15 @@ func (d *DMon) runFilters(now time.Time, candidates []metrics.Sample, global *ec
 
 	runOne := func(f *ecode.Filter, scope func(metrics.ID) bool) ([]metrics.Sample, bool) {
 		env.Reset()
-		if _, err := f.Run(vm, env); err != nil {
+		var err error
+		if o != nil {
+			var dur time.Duration
+			_, dur, err = f.RunTimed(vm, env)
+			o.ObserveFilter(dur, tid)
+		} else {
+			_, err = f.Run(vm, env)
+		}
+		if err != nil {
 			d.mu.Lock()
 			d.filterErrors++
 			d.mu.Unlock()
@@ -554,7 +584,14 @@ func (d *DMon) PollOnce() (*metrics.Report, int, error) {
 	if len(samples) == 0 {
 		return nil, 0, nil
 	}
-	send := d.FilterSamples(now, samples)
+	// The trace decision is made here, when the report is born, so the
+	// filter-execution span downstream of this point shares the report's ID
+	// with the queue/propagation/dispatch spans recorded on other nodes.
+	d.mu.Lock()
+	o := d.obs
+	d.mu.Unlock()
+	tid := o.SampleTrace()
+	send := d.filterSamples(now, samples, tid)
 	if len(send) == 0 {
 		return nil, 0, nil
 	}
@@ -565,7 +602,7 @@ func (d *DMon) PollOnce() (*metrics.Report, int, error) {
 	if mon == nil {
 		return report, 0, nil
 	}
-	n, err := mon.Submit(report.Encode())
+	n, err := mon.SubmitTraced(report.Encode(), tid)
 	return report, n, err
 }
 
@@ -600,35 +637,6 @@ func (d *DMon) Attach(mon, ctl *kecho.Channel) {
 			_ = d.ApplyControlText(text)
 		})
 	}
-}
-
-// ChannelHealth snapshots the liveness counters of the attached channels,
-// in attach order (monitoring first). Standalone d-mons return nil.
-func (d *DMon) ChannelHealth() []metrics.ChannelHealth {
-	d.mu.Lock()
-	mon, ctl := d.monCh, d.ctlCh
-	d.mu.Unlock()
-	var out []metrics.ChannelHealth
-	for _, ch := range []*kecho.Channel{mon, ctl} {
-		if ch == nil {
-			continue
-		}
-		s := ch.Stats()
-		out = append(out, metrics.ChannelHealth{
-			Name:          ch.Name(),
-			Peers:         len(ch.Peers()),
-			EventsSent:    s.EventsSent,
-			EventsRecv:    s.EventsRecv,
-			Dropped:       s.Dropped,
-			JoinSkips:     s.JoinSkips,
-			Redials:       s.Redials,
-			Reconnects:    s.Reconnects,
-			DeadlineDrops: s.DeadlineDrops,
-			QueueDrops:    s.QueueDrops,
-			BatchesSent:   s.BatchesSent,
-		})
-	}
-	return out
 }
 
 // PollChannels drains both channels' inboxes, dispatching handlers. Returns

@@ -1,5 +1,7 @@
 package ecode
 
+import "time"
+
 // Filter is a compiled E-code filter: the bytecode program for the VM, plus
 // the checked AST retained for the tree-walking interpreter used by the
 // compiled-versus-interpreted ablation.
@@ -69,6 +71,15 @@ func (f *Filter) Run(vm *VM, env *Env) (Result, error) {
 		vm = NewVM()
 	}
 	return vm.Run(f.prog, env)
+}
+
+// RunTimed is Run plus a wall-clock measurement of the execution, for
+// callers feeding the observability layer's filter-time distribution. The
+// measurement wraps only the VM run, not environment binding.
+func (f *Filter) RunTimed(vm *VM, env *Env) (Result, time.Duration, error) {
+	start := time.Now()
+	res, err := f.Run(vm, env)
+	return res, time.Since(start), err
 }
 
 // Interpret executes the filter by walking the typed AST instead of running

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"dproc/internal/clock"
+	"dproc/internal/metrics"
+	"dproc/internal/obs"
 	"dproc/internal/registry"
 	"dproc/internal/wire"
 )
@@ -96,8 +98,12 @@ type Event struct {
 	Seq uint64
 	// Payload is the opaque event body, valid only during handler dispatch.
 	Payload []byte
-	// Recv is the local receive time.
+	// Recv is the local receive time (on the channel clock).
 	Recv time.Time
+	// TraceID is non-zero when the publisher sampled this event for
+	// tracing (see internal/obs); it rides a trailing wire-frame extension
+	// and lets a subscriber continue the event's span chain.
+	TraceID uint64
 
 	// pooled marks Payload as drawn from the channel's recycled buffers;
 	// Poll returns it to the freelist after the handlers run.
@@ -187,6 +193,32 @@ type Options struct {
 	// Seed feeds the supervisor's backoff jitter; 0 derives one from the
 	// member ID so distinct members desynchronize deterministically.
 	Seed int64
+	// Metrics is the unified registry the channel registers its counters
+	// and peer gauge into at Join (subsystem "channel", label = channel
+	// name); nil uses a private registry. Share one registry across a
+	// node's channels so health and the exporters render everything in one
+	// place.
+	Metrics *metrics.Registry
+	// Observer collects the channel's latency histograms (queue residency,
+	// batch size, propagation delay, dispatch time) and per-event trace
+	// spans; nil disables observation — the data plane then pays a single
+	// branch per stage.
+	Observer *obs.Observer
+}
+
+// DefaultOptions returns the channel defaults as an explicit Options value
+// — the single source core.Defaults and the dprocd flag bindings build on,
+// so the knob defaults exist in exactly one place.
+func DefaultOptions() Options {
+	return Options{
+		InboxSize:         defaultInboxSize,
+		OutboxSize:        defaultOutboxSize,
+		MaxBatch:          defaultMaxBatch,
+		DialTimeout:       defaultDialTimeout,
+		WriteDeadline:     defaultWriteDeadline,
+		ReconnectInterval: defaultReconnectInterval,
+		ReconnectMax:      defaultReconnectMax,
+	}
 }
 
 // Option defaults; see Options.
@@ -234,17 +266,26 @@ type Channel struct {
 		bufs [][]byte
 	}
 
-	eventsSent    atomic.Uint64
-	eventsRecv    atomic.Uint64
-	bytesSent     atomic.Uint64
-	bytesRecv     atomic.Uint64
-	dropped       atomic.Uint64
-	joinSkips     atomic.Uint64
-	redials       atomic.Uint64
-	reconnects    atomic.Uint64
-	deadlineDrops atomic.Uint64
-	queueDrops    atomic.Uint64
-	batchesSent   atomic.Uint64
+	// Traffic counters live in the unified metric registry (Options.Metrics
+	// or a private one), registered once at Join under subsystem "channel";
+	// the channel holds the atomic cells and increments them directly, so
+	// the hot path is untouched while health and the exporters read the
+	// same numbers.
+	eventsSent    *atomic.Uint64
+	eventsRecv    *atomic.Uint64
+	bytesSent     *atomic.Uint64
+	bytesRecv     *atomic.Uint64
+	dropped       *atomic.Uint64
+	joinSkips     *atomic.Uint64
+	redials       *atomic.Uint64
+	reconnects    *atomic.Uint64
+	deadlineDrops *atomic.Uint64
+	queueDrops    *atomic.Uint64
+	batchesSent   *atomic.Uint64
+
+	// obs collects latency histograms and trace spans; nil disables
+	// observation (Options.Observer).
+	obs *obs.Observer
 
 	wg sync.WaitGroup
 }
@@ -258,6 +299,12 @@ type Channel struct {
 type outRecord struct {
 	buf  []byte
 	refs atomic.Int32
+	// traceID and enq carry the observability stamps through the outbox:
+	// enq is set (on the channel clock) whenever an observer is attached,
+	// so every written record yields a queue-residency sample; traceID is
+	// non-zero only for sampled events. Read-only once enqueued.
+	traceID uint64
+	enq     time.Time
 }
 
 var outRecordPool = sync.Pool{New: func() any { return new(outRecord) }}
@@ -272,6 +319,8 @@ func newOutRecord() *outRecord {
 	r := outRecordPool.Get().(*outRecord)
 	r.buf = r.buf[:0]
 	r.refs.Store(1)
+	r.traceID = 0
+	r.enq = time.Time{}
 	return r
 }
 
@@ -395,6 +444,8 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	if c.maxBatch <= 0 {
 		c.maxBatch = defaultMaxBatch
 	}
+	c.obs = opts.Observer
+	c.registerMetrics(opts.Metrics)
 	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
 	if err != nil {
 		ln.Close()
@@ -413,6 +464,32 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 		go c.supervise()
 	}
 	return c, nil
+}
+
+// registerMetrics obtains the channel's counter cells from the unified
+// registry (a private one when mreg is nil), labelled with the channel
+// name. Registration order fixes the health-file line order.
+func (c *Channel) registerMetrics(mreg *metrics.Registry) {
+	if mreg == nil {
+		mreg = metrics.NewRegistry()
+	}
+	mreg.Gauge("channel", c.name, "peers", func() uint64 {
+		c.mu.Lock()
+		n := len(c.peers)
+		c.mu.Unlock()
+		return uint64(n)
+	})
+	c.eventsSent = mreg.Counter("channel", c.name, "events_sent")
+	c.eventsRecv = mreg.Counter("channel", c.name, "events_recv")
+	c.bytesSent = mreg.Counter("channel", c.name, "bytes_sent")
+	c.bytesRecv = mreg.Counter("channel", c.name, "bytes_recv")
+	c.dropped = mreg.Counter("channel", c.name, "dropped")
+	c.joinSkips = mreg.Counter("channel", c.name, "join_skips")
+	c.redials = mreg.Counter("channel", c.name, "redials")
+	c.reconnects = mreg.Counter("channel", c.name, "reconnects")
+	c.deadlineDrops = mreg.Counter("channel", c.name, "deadline_drops")
+	c.queueDrops = mreg.Counter("channel", c.name, "queue_drops")
+	c.batchesSent = mreg.Counter("channel", c.name, "batches_sent")
 }
 
 // Name returns the channel name.
@@ -640,21 +717,38 @@ func (c *Channel) internFrom(p *peer, from []byte) string {
 // the handler call only), while polled delivery copies the body into a
 // recycled buffer that Poll returns to the freelist after dispatch.
 func (c *Channel) receiveEvent(p *peer, record []byte) {
+	recv := c.clk.Now()
 	d := wire.NewDecoder(record)
 	from := d.StringBytes()
 	seq := d.Uint64()
 	body := d.BytesFieldView()
+	// A sampled event carries the trace trailer; for everything else this
+	// is a single length check. The trailer must be consumed before Finish,
+	// which still rejects any other trailing bytes.
+	var tid uint64
+	var sendNs int64
+	if d.Remaining() > 0 {
+		tid, sendNs, _ = d.TraceExt()
+	}
 	if d.Finish() != nil {
 		return
 	}
 	c.eventsRecv.Add(1)
 	c.bytesRecv.Add(uint64(len(body)))
+	if tid != 0 {
+		// Cross-node propagation delay: publisher send stamp → local
+		// receive, both on internal/clock time. Skew clamps to zero in the
+		// observer. The decode span closes here — decode work is behind us.
+		c.obs.ObservePropagation(time.Duration(recv.UnixNano()-sendNs), tid)
+		c.obs.ObserveDecode(c.clk.Now().Sub(recv), tid)
+	}
 	ev := Event{
 		Channel: c.name,
 		From:    c.internFrom(p, from),
 		Seq:     seq,
 		Payload: body,
-		Recv:    time.Now(),
+		Recv:    recv,
+		TraceID: tid,
 	}
 	if c.opts.Dispatch == Immediate {
 		c.dispatch(ev)
@@ -746,6 +840,7 @@ func (c *Channel) writeLoop(p *peer) {
 		done := 0
 		if len(batch) == 1 {
 			if err = p.send(frameEvent, first.buf, c.writeDeadline); err == nil {
+				c.observeWritten(batch)
 				p.pending.Add(-1)
 				first.release()
 				done = 1
@@ -758,6 +853,7 @@ func (c *Channel) writeLoop(p *peer) {
 			enc = wire.AppendBatch(enc[:0], views)
 			if err = p.send(frameBatch, enc, c.writeDeadline); err == nil {
 				c.batchesSent.Add(1)
+				c.observeWritten(batch)
 				p.pending.Add(-int64(len(batch)))
 				for _, rec := range batch {
 					rec.release()
@@ -784,6 +880,10 @@ func (c *Channel) writeLoop(p *peer) {
 				if err = p.send(frameEvent, rec.buf, c.writeDeadline); err != nil {
 					break
 				}
+				if c.obs != nil && !rec.enq.IsZero() {
+					c.obs.ObserveQueue(c.clk.Now().Sub(rec.enq), rec.traceID)
+					c.obs.ObserveBatch(1)
+				}
 				p.pending.Add(-1)
 				rec.release()
 				done++
@@ -803,6 +903,23 @@ func (c *Channel) writeLoop(p *peer) {
 	}
 }
 
+// observeWritten records outbox residency for every record in a just-written
+// frame plus the frame's batch size. It must run before the records are
+// released: release can hand a record back to the pool, where a concurrent
+// Submit would reset enq and traceID under us.
+func (c *Channel) observeWritten(batch []*outRecord) {
+	if c.obs == nil {
+		return
+	}
+	now := c.clk.Now()
+	for _, rec := range batch {
+		if !rec.enq.IsZero() {
+			c.obs.ObserveQueue(now.Sub(rec.enq), rec.traceID)
+		}
+	}
+	c.obs.ObserveBatch(len(batch))
+}
+
 func (c *Channel) dispatch(ev Event) {
 	// Subscribe builds a fresh slice on every registration, so the snapshot
 	// taken here stays immutable after the lock is released — no per-event
@@ -810,6 +927,14 @@ func (c *Channel) dispatch(ev Event) {
 	c.mu.Lock()
 	handlers := c.handlers
 	c.mu.Unlock()
+	if c.obs != nil && ev.TraceID != 0 {
+		start := c.clk.Now()
+		for _, h := range handlers {
+			h(ev)
+		}
+		c.obs.ObserveDispatch(c.clk.Now().Sub(start), ev.TraceID)
+		return
+	}
 	for _, h := range handlers {
 		h(ev)
 	}
@@ -846,12 +971,21 @@ func (c *Channel) Pending() int { return len(c.inbox) }
 // encodeRecord encodes payload as one event record (publisher ID, sequence
 // number, body) into a pooled record holding a single reference — the
 // caller's. The wire layout matches Encoder.String + Encoder.Uint64 +
-// Encoder.BytesField, decoded by receiveEvent.
-func (c *Channel) encodeRecord(payload []byte) *outRecord {
+// Encoder.BytesField, decoded by receiveEvent. A sampled event (tid != 0)
+// additionally carries the trace trailer so subscribers can measure
+// cross-node propagation against the send stamp.
+func (c *Channel) encodeRecord(payload []byte, tid uint64) *outRecord {
 	rec := newOutRecord()
 	rec.buf = wire.AppendString(rec.buf, c.id)
 	rec.buf = binary.BigEndian.AppendUint64(rec.buf, c.seq.Add(1))
 	rec.buf = wire.AppendBytesField(rec.buf, payload)
+	if c.obs != nil {
+		rec.enq = c.clk.Now()
+		if tid != 0 {
+			rec.traceID = tid
+			rec.buf = wire.AppendTraceExt(rec.buf, tid, rec.enq.UnixNano())
+		}
+	}
 	return rec
 }
 
@@ -864,7 +998,20 @@ func (c *Channel) encodeRecord(payload []byte) *outRecord {
 // fail or time out (the reconnect supervisor re-dials them if they come
 // back). A peer whose outbox is full misses this event, counted in
 // Stats.QueueDrops.
+//
+// When an observer is attached, Submit makes the trace sampling decision
+// here, at publish time. Callers that stamped the event earlier in its life
+// (d-mon stamps at sample time) use SubmitTraced directly.
 func (c *Channel) Submit(payload []byte) (int, error) {
+	return c.SubmitTraced(payload, c.obs.SampleTrace())
+}
+
+// SubmitTraced is Submit for an event whose trace decision was already made:
+// traceID is the ID stamped when the event was born (0 for an unsampled
+// event). The ID rides a trailing wire-frame extension so every downstream
+// stage — queue, propagation, decode, dispatch — attributes its span to the
+// same trace.
+func (c *Channel) SubmitTraced(payload []byte, traceID uint64) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -873,7 +1020,7 @@ func (c *Channel) Submit(payload []byte) (int, error) {
 	// Encode once; every outbox shares the same record. The enqueue loop runs
 	// under c.mu (it never blocks — the selects have defaults), which also
 	// spares the per-Submit peers-slice copy.
-	rec := c.encodeRecord(payload)
+	rec := c.encodeRecord(payload, traceID)
 	sent := 0
 	for _, p := range c.peers {
 		// Count the event pending before the enqueue so the graceful drain
@@ -914,7 +1061,7 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
-	rec := c.encodeRecord(payload)
+	rec := c.encodeRecord(payload, 0)
 	p.pending.Add(1)
 	select {
 	case p.outbox <- rec: // the caller's sole reference transfers to the outbox

@@ -4,6 +4,11 @@
 // the aggregate through the /proc/cluster/<node>/health pseudo-file, so an
 // operator can cat one file and see how hard the mesh is working to stay
 // connected.
+//
+// The counters themselves live in the node's unified Registry (subsystems
+// "channel" and "registry"); Health is a rendering view over it, so the
+// health file, the stats file and the Prometheus exporter can never drift
+// apart.
 package metrics
 
 import (
@@ -11,85 +16,67 @@ import (
 	"strings"
 )
 
-// ChannelHealth is one event channel's liveness snapshot.
-type ChannelHealth struct {
-	// Name is the channel name (e.g. dproc.monitoring).
-	Name string
-	// Peers is the number of currently connected peers.
-	Peers int
-	// EventsSent / EventsRecv / Dropped mirror the channel's traffic stats.
-	EventsSent uint64
-	EventsRecv uint64
-	Dropped    uint64
-	// JoinSkips counts peers that were unreachable at join time.
-	JoinSkips uint64
-	// Redials counts dial attempts made by the reconnect supervisor.
-	Redials uint64
-	// Reconnects counts peer connections the supervisor re-established.
-	Reconnects uint64
-	// DeadlineDrops counts sends aborted by the per-peer write deadline.
-	DeadlineDrops uint64
-	// QueueDrops counts events dropped because a peer's outbound queue
-	// overflowed (a subscriber stalled longer than the queue absorbs).
-	QueueDrops uint64
-	// BatchesSent counts coalesced multi-event frames written by the
-	// per-peer writers.
-	BatchesSent uint64
-}
-
-// RegistryHealth is the node's registry-client recovery snapshot.
-type RegistryHealth struct {
-	// Dials / Redials count connections established to the registry (total
-	// and beyond the first).
-	Dials   uint64
-	Redials uint64
-	// Retries counts request attempts beyond each request's first.
-	Retries uint64
-	// Heartbeats counts acknowledged keep-alives.
-	Heartbeats uint64
-	// Rejoins counts heartbeats that had to re-register a member, i.e.
-	// observed registry restarts or TTL expiries of this node.
-	Rejoins uint64
-}
-
-// Health is one node's full self-healing report.
+// Health renders one node's self-healing report from its metric registry.
 type Health struct {
-	Node     string
-	Channels []ChannelHealth
-	Registry RegistryHealth
+	Node string
+	reg  *Registry
+}
+
+// NewHealth returns the health view for a node's registry.
+func NewHealth(node string, reg *Registry) Health {
+	return Health{Node: node, reg: reg}
+}
+
+// transportEntry selects the transport-liveness subset of the registry:
+// channel and registry-client counters/gauges, excluding the observability
+// distributions (those belong to the stats file).
+func transportEntry(e Entry) bool {
+	return e.Kind != KindDist && (e.Subsystem == "channel" || e.Subsystem == "registry")
 }
 
 // Render formats the health report in /proc style: one "key value" line per
-// counter, channel sections prefixed by the channel name.
-func (h *Health) Render() string {
+// counter, channel sections prefixed by the channel name, in registration
+// order (monitoring channel first, registry client last).
+func (h Health) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "node %s\n", h.Node)
-	for _, ch := range h.Channels {
-		fmt.Fprintf(&sb, "channel %s peers %d\n", ch.Name, ch.Peers)
-		fmt.Fprintf(&sb, "channel %s events_sent %d\n", ch.Name, ch.EventsSent)
-		fmt.Fprintf(&sb, "channel %s events_recv %d\n", ch.Name, ch.EventsRecv)
-		fmt.Fprintf(&sb, "channel %s dropped %d\n", ch.Name, ch.Dropped)
-		fmt.Fprintf(&sb, "channel %s join_skips %d\n", ch.Name, ch.JoinSkips)
-		fmt.Fprintf(&sb, "channel %s redials %d\n", ch.Name, ch.Redials)
-		fmt.Fprintf(&sb, "channel %s reconnects %d\n", ch.Name, ch.Reconnects)
-		fmt.Fprintf(&sb, "channel %s deadline_drops %d\n", ch.Name, ch.DeadlineDrops)
-		fmt.Fprintf(&sb, "channel %s queue_drops %d\n", ch.Name, ch.QueueDrops)
-		fmt.Fprintf(&sb, "channel %s batches_sent %d\n", ch.Name, ch.BatchesSent)
+	if h.reg == nil {
+		return sb.String()
 	}
-	fmt.Fprintf(&sb, "registry dials %d\n", h.Registry.Dials)
-	fmt.Fprintf(&sb, "registry redials %d\n", h.Registry.Redials)
-	fmt.Fprintf(&sb, "registry retries %d\n", h.Registry.Retries)
-	fmt.Fprintf(&sb, "registry heartbeats %d\n", h.Registry.Heartbeats)
-	fmt.Fprintf(&sb, "registry rejoins %d\n", h.Registry.Rejoins)
+	h.reg.Each(func(e Entry) {
+		if !transportEntry(e) {
+			return
+		}
+		if e.Label != "" {
+			fmt.Fprintf(&sb, "%s %s %s %d\n", e.Subsystem, e.Label, e.Name, e.Value())
+		} else {
+			fmt.Fprintf(&sb, "%s %s %d\n", e.Subsystem, e.Name, e.Value())
+		}
+	})
 	return sb.String()
+}
+
+// Value reads one transport counter by key (e.g. ("registry", "", "dials")
+// or ("channel", "dproc.monitoring", "reconnects")); 0 when absent.
+func (h Health) Value(subsystem, label, name string) uint64 {
+	if h.reg == nil {
+		return 0
+	}
+	v, _ := h.reg.Value(subsystem, label, name)
+	return v
 }
 
 // TotalReconnects sums reconnects across all channels — the headline
 // "how often did the mesh have to heal" number.
-func (h *Health) TotalReconnects() uint64 {
+func (h Health) TotalReconnects() uint64 {
 	var n uint64
-	for _, ch := range h.Channels {
-		n += ch.Reconnects
+	if h.reg == nil {
+		return 0
 	}
+	h.reg.Each(func(e Entry) {
+		if e.Subsystem == "channel" && e.Name == "reconnects" && e.Value != nil {
+			n += e.Value()
+		}
+	})
 	return n
 }

@@ -6,14 +6,22 @@ import (
 )
 
 func TestHealthRender(t *testing.T) {
-	h := Health{
-		Node: "alan",
-		Channels: []ChannelHealth{
-			{Name: "dproc.monitoring", Peers: 2, Reconnects: 3, DeadlineDrops: 1, QueueDrops: 4, BatchesSent: 7},
-			{Name: "dproc.control", Peers: 2, Reconnects: 1},
-		},
-		Registry: RegistryHealth{Dials: 1, Heartbeats: 9, Rejoins: 2},
-	}
+	r := NewRegistry()
+	r.Counter("channel", "dproc.monitoring", "peers").Store(2)
+	r.Counter("channel", "dproc.monitoring", "reconnects").Store(3)
+	r.Counter("channel", "dproc.monitoring", "deadline_drops").Store(1)
+	r.Counter("channel", "dproc.monitoring", "queue_drops").Store(4)
+	r.Counter("channel", "dproc.monitoring", "batches_sent").Store(7)
+	r.Counter("channel", "dproc.control", "peers").Store(2)
+	r.Counter("channel", "dproc.control", "reconnects").Store(1)
+	r.Counter("channel", "dproc.control", "queue_drops").Store(0)
+	r.Counter("registry", "", "dials").Store(1)
+	r.Counter("registry", "", "heartbeats").Store(9)
+	r.Counter("registry", "", "rejoins").Store(2)
+	// Distributions must not leak into the health view.
+	r.Distribution("obs", "", "filter_run", "ns", nil)
+
+	h := NewHealth("alan", r)
 	out := h.Render()
 	for _, want := range []string{
 		"node alan\n",
@@ -31,7 +39,23 @@ func TestHealthRender(t *testing.T) {
 			t.Fatalf("Render missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "filter_run") {
+		t.Fatalf("Render leaked a distribution into the health view:\n%s", out)
+	}
 	if got := h.TotalReconnects(); got != 4 {
 		t.Fatalf("TotalReconnects = %d, want 4", got)
+	}
+	if got := h.Value("registry", "", "dials"); got != 1 {
+		t.Fatalf("Value(registry dials) = %d, want 1", got)
+	}
+}
+
+func TestHealthNilRegistry(t *testing.T) {
+	h := NewHealth("solo", nil)
+	if got := h.Render(); got != "node solo\n" {
+		t.Fatalf("Render = %q, want node line only", got)
+	}
+	if h.TotalReconnects() != 0 || h.Value("registry", "", "dials") != 0 {
+		t.Fatal("nil-registry health must read zero")
 	}
 }

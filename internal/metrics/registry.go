@@ -1,0 +1,241 @@
+// The unified metric registry: every counter, gauge and latency
+// distribution in the node registers here exactly once — kecho channels at
+// Join, the registry client at node construction, the observability layer's
+// histograms at observer creation — and every export surface (the health
+// and stats pseudo-files, the admin "stats" verb, the Prometheus /metrics
+// endpoint) renders from the same entries. Adding a counter means one
+// Counter call at the owning site, not parallel edits across health
+// structs, render functions and exporters.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a registry entry.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing cumulative count backed by
+	// an atomic cell the owner increments directly.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value read through a callback.
+	KindGauge
+	// KindDist is a streaming latency/size distribution (see Distribution).
+	KindDist
+)
+
+// Distribution is the read surface a streaming histogram exposes to the
+// registry: enough to render counts, sums and quantiles without the
+// registry knowing the bucket layout. internal/obs provides the canonical
+// lock-free implementation.
+type Distribution interface {
+	Count() uint64
+	Sum() uint64
+	// Quantile returns an upper bound for the q-quantile of the recorded
+	// values (q in [0,1]); 0 when nothing has been recorded.
+	Quantile(q float64) int64
+}
+
+// Entry is one registered metric, visible to renderers via Each.
+type Entry struct {
+	// Subsystem groups related metrics ("channel", "registry", "obs").
+	Subsystem string
+	// Label distinguishes instances within a subsystem (the channel name);
+	// empty for singleton subsystems.
+	Label string
+	// Name is the snake_case metric name within the subsystem.
+	Name string
+	// Unit is "ns" for durations (exporters scale to seconds), "" for
+	// dimensionless counts.
+	Unit string
+	Kind Kind
+	// Value reads the current value of a counter or gauge; nil for KindDist.
+	Value func() uint64
+	// Dist is the distribution behind a KindDist entry; nil otherwise.
+	Dist Distribution
+
+	// cell backs KindCounter entries so repeated registration returns the
+	// same atomic.
+	cell *atomic.Uint64
+}
+
+// Registry holds a node's metric entries in registration order. All methods
+// are safe for concurrent use; reads of counter cells are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	entries []Entry
+	index   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+func entryKey(subsystem, label, name string) string {
+	return subsystem + "\x00" + label + "\x00" + name
+}
+
+// Counter registers a cumulative counter and returns the atomic cell the
+// owner increments. Registering the same (subsystem, label, name) again
+// returns the existing cell, so a re-joined channel keeps accumulating
+// rather than shadowing its counters.
+func (r *Registry) Counter(subsystem, label, name string) *atomic.Uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := entryKey(subsystem, label, name)
+	if i, ok := r.index[key]; ok {
+		if e := r.entries[i]; e.Kind == KindCounter && e.cell != nil {
+			return e.cell
+		}
+	}
+	cell := new(atomic.Uint64)
+	r.add(key, Entry{Subsystem: subsystem, Label: label, Name: name, Kind: KindCounter, Value: cell.Load, cell: cell})
+	return cell
+}
+
+// Gauge registers (or replaces) an instantaneous value read through fn.
+// Replacement matters on re-registration: the newest owner's closure wins,
+// so a restarted component does not leave a stale reader behind.
+func (r *Registry) Gauge(subsystem, label, name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := entryKey(subsystem, label, name)
+	e := Entry{Subsystem: subsystem, Label: label, Name: name, Kind: KindGauge, Value: fn}
+	if i, ok := r.index[key]; ok {
+		r.entries[i] = e
+		return
+	}
+	r.add(key, e)
+}
+
+// Distribution registers (or replaces) a streaming distribution. unit "ns"
+// marks durations, which exporters render in seconds.
+func (r *Registry) Distribution(subsystem, label, name, unit string, d Distribution) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := entryKey(subsystem, label, name)
+	e := Entry{Subsystem: subsystem, Label: label, Name: name, Unit: unit, Kind: KindDist, Dist: d}
+	if i, ok := r.index[key]; ok {
+		r.entries[i] = e
+		return
+	}
+	r.add(key, e)
+}
+
+// add appends e under key; caller holds r.mu.
+func (r *Registry) add(key string, e Entry) {
+	r.index[key] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Each calls fn for every entry in registration order, on a snapshot — fn
+// may call back into the registry.
+func (r *Registry) Each(fn func(Entry)) {
+	r.mu.Lock()
+	snapshot := make([]Entry, len(r.entries))
+	copy(snapshot, r.entries)
+	r.mu.Unlock()
+	for _, e := range snapshot {
+		fn(e)
+	}
+}
+
+// Value reads one counter or gauge by key, reporting whether it exists.
+func (r *Registry) Value(subsystem, label, name string) (uint64, bool) {
+	r.mu.Lock()
+	i, ok := r.index[entryKey(subsystem, label, name)]
+	var e Entry
+	if ok {
+		e = r.entries[i]
+	}
+	r.mu.Unlock()
+	if !ok || e.Value == nil {
+		return 0, false
+	}
+	return e.Value(), true
+}
+
+// RenderText writes every entry in /proc style — "subsystem [label] name
+// value" lines; distributions expand to count/sum/p50/p95/p99 with the unit
+// suffixed to each value key — the format behind cluster/<node>/stats and
+// the admin stats verb.
+func (r *Registry) RenderText(w io.Writer) {
+	r.Each(func(e Entry) {
+		prefix := e.Subsystem
+		if e.Label != "" {
+			prefix += " " + e.Label
+		}
+		if e.Kind != KindDist {
+			fmt.Fprintf(w, "%s %s %d\n", prefix, e.Name, e.Value())
+			return
+		}
+		suffix := ""
+		if e.Unit != "" {
+			suffix = "_" + e.Unit
+		}
+		fmt.Fprintf(w, "%s %s count %d sum%s %d p50%s %d p95%s %d p99%s %d\n",
+			prefix, e.Name, e.Dist.Count(), suffix, e.Dist.Sum(),
+			suffix, e.Dist.Quantile(0.50), suffix, e.Dist.Quantile(0.95), suffix, e.Dist.Quantile(0.99))
+	})
+}
+
+// RenderProm writes every entry in the Prometheus text exposition format:
+// counters as dproc_<subsystem>_<name>_total, gauges plain, distributions
+// as summaries with 0.5/0.95/0.99 quantile lines plus _sum and _count.
+// Nanosecond distributions are scaled to base-unit seconds and suffixed
+// _seconds, per Prometheus naming conventions.
+func (r *Registry) RenderProm(w io.Writer) {
+	r.Each(func(e Entry) {
+		name := "dproc_" + e.Subsystem + "_" + e.Name
+		labels := ""
+		if e.Label != "" {
+			labels = "{" + e.Subsystem + "=\"" + escapeLabel(e.Label) + "\"}"
+		}
+		switch e.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total%s %d\n", name, name, labels, e.Value())
+		case KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, labels, e.Value())
+		case KindDist:
+			scale := 1.0
+			if e.Unit == "ns" {
+				name += "_seconds"
+				scale = 1e-9
+			}
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "%s{%squantile=\"%s\"} %s\n",
+					name, promLabelPrefix(e), formatFloat(q),
+					formatFloat(float64(e.Dist.Quantile(q))*scale))
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(e.Dist.Sum())*scale))
+			fmt.Fprintf(w, "%s_count%s %d\n", name, labels, e.Dist.Count())
+		}
+	})
+}
+
+// promLabelPrefix renders an entry's instance label for inclusion before
+// the quantile label ("channel=\"x\"," or empty).
+func promLabelPrefix(e Entry) string {
+	if e.Label == "" {
+		return ""
+	}
+	return e.Subsystem + "=\"" + escapeLabel(e.Label) + "\","
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeDist is a canned Distribution so this test does not depend on
+// internal/obs (which imports this package).
+type fakeDist struct {
+	count uint64
+	sum   uint64
+	q     int64
+}
+
+func (f fakeDist) Count() uint64          { return f.count }
+func (f fakeDist) Sum() uint64            { return f.sum }
+func (f fakeDist) Quantile(float64) int64 { return f.q }
+
+func TestCounterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("channel", "mon", "sent")
+	a.Add(3)
+	// Re-registering the same counter returns the same cell, not a fresh one.
+	b := r.Counter("channel", "mon", "sent")
+	if a != b {
+		t.Fatal("re-registration returned a different cell")
+	}
+	b.Add(4)
+	if got, ok := r.Value("channel", "mon", "sent"); !ok || got != 7 {
+		t.Fatalf("counter = %d, %v, want 7", got, ok)
+	}
+	// Only one entry exists for the pair of registrations.
+	n := 0
+	r.Each(func(Entry) { n++ })
+	if n != 1 {
+		t.Fatalf("registry holds %d entries, want 1", n)
+	}
+}
+
+func TestGaugeReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("registry", "", "dials", func() uint64 { return 1 })
+	r.Gauge("registry", "", "dials", func() uint64 { return 9 })
+	if got, ok := r.Value("registry", "", "dials"); !ok || got != 9 {
+		t.Fatalf("gauge = %d, %v, want replacement value 9", got, ok)
+	}
+	n := 0
+	r.Each(func(Entry) { n++ })
+	if n != 1 {
+		t.Fatalf("registry holds %d entries after replacement, want 1", n)
+	}
+}
+
+func TestRenderTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("channel", "mon", "events_sent").Add(12)
+	r.Distribution("obs", "", "filter_run", "ns", fakeDist{count: 1, sum: 1000, q: 1024})
+	var sb strings.Builder
+	r.RenderText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "channel mon events_sent 12\n") {
+		t.Fatalf("labelled counter line missing:\n%s", out)
+	}
+	// Empty-label entries render with no label column, and ns distributions
+	// carry the _ns suffix on sum and quantiles.
+	if !strings.Contains(out, "obs filter_run count 1 sum_ns 1000") ||
+		!strings.Contains(out, "p99_ns 1024") {
+		t.Fatalf("distribution line malformed:\n%s", out)
+	}
+}
+
+func TestRenderPromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("channel", `he"llo`, "events_sent").Add(5)
+	r.Gauge("registry", "", "dials", func() uint64 { return 2 })
+	// 2s recorded in nanoseconds: sum and quantiles must scale to seconds.
+	r.Distribution("obs", "", "prop_delay", "ns",
+		fakeDist{count: 1, sum: 2_000_000_000, q: 2_000_000_000})
+	var sb strings.Builder
+	r.RenderProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dproc_channel_events_sent_total counter\n",
+		`dproc_channel_events_sent_total{channel="he\"llo"} 5` + "\n",
+		"# TYPE dproc_registry_dials gauge\ndproc_registry_dials 2\n",
+		"# TYPE dproc_obs_prop_delay_seconds summary\n",
+		`dproc_obs_prop_delay_seconds{quantile="0.95"} 2` + "\n",
+		"dproc_obs_prop_delay_seconds_sum 2\n",
+		"dproc_obs_prop_delay_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2000000000") {
+		t.Fatalf("raw nanoseconds leaked into prom output:\n%s", out)
+	}
+}

@@ -1,0 +1,42 @@
+// Prometheus-text export: the HTTP face of the unified metric registry,
+// served next to -pprof on dprocd. Hand-rendered exposition format — no
+// client library dependency — because the registry already knows how to
+// render itself (metrics.Registry.RenderProm).
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	"dproc/internal/metrics"
+)
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *metrics.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.RenderProm(w)
+	})
+}
+
+// ServeMetrics starts an HTTP server for reg on addr, exposing /metrics
+// (and the same content at /). It returns the bound address. An empty addr
+// disables the endpoint and returns ("", nil). The server uses its own mux
+// and listener so it composes with -pprof rather than fighting over
+// http.DefaultServeMux.
+func ServeMetrics(addr string, reg *metrics.Registry) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	h := MetricsHandler(reg)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

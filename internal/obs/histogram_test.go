@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketMappingMonotonicAndBounded exercises the index/bound pair across
+// the value range: every value lands in a bucket whose upper bound is at
+// least the value, and the relative overshoot stays within one sub-bucket
+// (1/32 ≈ 3.1%).
+func TestBucketMappingMonotonicAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1 << 20, 1<<20 + 7, 1 << 40, math.MaxInt64 / 2, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		hi := bucketHigh(i)
+		if hi < v {
+			t.Fatalf("bucketHigh(%d) = %d < value %d", i, hi, v)
+		}
+		if v >= subCount {
+			if rel := float64(hi-v) / float64(v); rel > 1.0/float64(subCount) {
+				t.Fatalf("bucket overshoot %.4f for value %d (bound %d)", rel, v, hi)
+			}
+		}
+	}
+	if n := bucketIndex(math.MaxInt64); n >= nBuckets {
+		t.Fatalf("max value index %d out of range %d", n, nBuckets)
+	}
+}
+
+// TestQuantileAccuracy checks estimated quantiles against exact order
+// statistics of a log-uniform sample, within the histogram's 3.1% relative
+// error bound (plus the one-rank discretization slack).
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{}
+	values := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform across 1..1e9: exercises many octaves.
+		v := int64(math.Exp(rng.Float64() * math.Log(1e9)))
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		rank := int(math.Ceil(q*float64(len(values)))) - 1
+		exact := values[rank]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q%.2f: estimate %d below exact %d", q, got, exact)
+		}
+		if rel := float64(got-exact) / float64(exact); rel > 0.05 {
+			t.Fatalf("q%.2f: estimate %d vs exact %d, relative error %.4f > 5%%", q, got, exact, rel)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Record(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-value q%.1f = %d, want 7", q, got)
+		}
+	}
+	h.Record(-5) // clamps to 0
+	if h.Quantile(0) != 0 {
+		t.Fatal("negative record did not clamp to zero bucket")
+	}
+	var nilH *Histogram
+	nilH.Record(1) // must not panic
+}
+
+// TestConcurrentWriters hammers one histogram from many goroutines under the
+// race detector and checks the totals are exact — the lock-free contract.
+func TestConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 10000
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	// Concurrent readers must see self-consistent snapshots (count equals
+	// the bucket total by construction).
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var n uint64
+				for _, c := range s.Buckets {
+					n += c
+				}
+				if n != s.Count {
+					panic("snapshot count drifted from bucket total")
+				}
+				_ = h.Quantile(0.95)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestSnapshotMerge verifies the mergeability contract: two per-node
+// histograms merged element-wise answer quantiles exactly like one histogram
+// that saw every value.
+func TestSnapshotMerge(t *testing.T) {
+	a, b, all := &Histogram{}, &Histogram{}, &Histogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 40)
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged.Count != all.Count() || merged.Sum != all.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.Sum, all.Count(), all.Sum())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := merged.Quantile(q), all.Quantile(q); got != want {
+			t.Fatalf("merged q%.2f = %d, combined histogram says %d", q, got, want)
+		}
+	}
+}

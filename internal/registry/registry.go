@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dproc/internal/clock"
+	"dproc/internal/metrics"
 	"dproc/internal/wire"
 )
 
@@ -460,6 +461,21 @@ func (c *Client) Stats() ClientStats {
 		Heartbeats: c.heartbeats.Load(),
 		Rejoins:    c.rejoins.Load(),
 	}
+}
+
+// RegisterMetrics publishes the client's recovery counters into the node's
+// unified registry, under subsystem "registry". The gauges read the live
+// atomics, so registration happens once and every exporter (health file,
+// stats verb, Prometheus endpoint) sees current values.
+func (c *Client) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("registry", "", "dials", c.dials.Load)
+	r.Gauge("registry", "", "redials", c.redials.Load)
+	r.Gauge("registry", "", "retries", c.retries.Load)
+	r.Gauge("registry", "", "heartbeats", c.heartbeats.Load)
+	r.Gauge("registry", "", "rejoins", c.rejoins.Load)
 }
 
 // Close releases the client's connection.

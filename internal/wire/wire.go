@@ -352,6 +352,43 @@ func AppendBytesField(dst []byte, b []byte) []byte {
 	return append(dst, b...)
 }
 
+// Trace extension: a sampled event record carries its trace ID and the
+// publisher's send timestamp as a fixed-size trailer appended after the
+// last field. Unsampled events — the overwhelming majority — pay zero
+// bytes. The trailer is self-identifying: Decoder.TraceExt consumes it only
+// when exactly TraceExtSize bytes remain and the marker matches, so a
+// decoder that ignores it still rejects the record via Finish exactly as it
+// rejects any other trailing bytes (no silent misparse on either side).
+const (
+	// TraceExtSize is the trailer length: marker byte + trace ID + send
+	// time in Unix nanoseconds.
+	TraceExtSize = 1 + 8 + 8
+	// traceExtMarker distinguishes the trailer from ordinary field bytes.
+	traceExtMarker = 0x54 // 'T'
+)
+
+// AppendTraceExt appends the trace trailer to an encoded record.
+func AppendTraceExt(dst []byte, traceID uint64, sendUnixNano int64) []byte {
+	dst = append(dst, traceExtMarker)
+	dst = binary.BigEndian.AppendUint64(dst, traceID)
+	return binary.BigEndian.AppendUint64(dst, uint64(sendUnixNano))
+}
+
+// TraceExt consumes the trace trailer if (and only if) it is exactly what
+// remains in the buffer, returning its contents. When absent or malformed
+// it consumes nothing and reports ok=false, leaving Finish to classify the
+// leftover bytes.
+func (d *Decoder) TraceExt() (traceID uint64, sendUnixNano int64, ok bool) {
+	if d.err != nil || d.Remaining() != TraceExtSize || d.buf[d.off] != traceExtMarker {
+		return 0, 0, false
+	}
+	d.off++
+	traceID = binary.BigEndian.Uint64(d.buf[d.off:])
+	sendUnixNano = int64(binary.BigEndian.Uint64(d.buf[d.off+8:]))
+	d.off += 16
+	return traceID, sendUnixNano, true
+}
+
 // Decoder deserializes fields from a buffer with a sticky error: after the
 // first failure every subsequent read returns the zero value, and Err()
 // reports the original problem. This mirrors the kernel pattern of a single
