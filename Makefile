@@ -16,7 +16,9 @@ race:
 
 # check is the pre-merge gate: static analysis plus the full suite under the
 # race detector (the fault-injection tests exercise concurrent heal paths,
-# so -race is not optional here).
+# so -race is not optional here). The suite includes the tsdb crash-recovery
+# tests — torn writes, kill-9 replay, ENOSPC degradation — and the
+# append/query/flush concurrency hammer.
 check: vet race
 
 figures:
@@ -25,7 +27,8 @@ figures:
 # bench runs the tsdb, kecho fan-out and end-to-end hot-path benchmarks
 # (bounded so the target stays quick) and records machine-readable results in
 # BENCH_tsdb.json, BENCH_kecho.json, BENCH_hotpath.json and BENCH_obs.json via
-# cmd/benchjson. allocs/op in the kecho and hotpath files is the
+# cmd/benchjson. The tsdb group covers the persistence paths too: durable
+# WAL append, kill-9 WAL replay and clean-restart chunk load. allocs/op in the kecho and hotpath files is the
 # zero-allocation data-plane regression gate (DESIGN.md §8); BENCH_obs.json
 # compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9).
 bench:

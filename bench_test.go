@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -773,6 +775,123 @@ func BenchmarkTSDBCompression(b *testing.B) {
 	}
 	b.ReportMetric(perSample, "bytes/sample")
 	b.ReportMetric(16/perSample, "compression-x")
+}
+
+// BenchmarkTSDBWALAppend measures the durable append path: the in-memory
+// Gorilla append plus one CRC-framed WAL record write, fsyncing every 64
+// records (the cadence a deployment trading latency for bounded loss picks).
+func BenchmarkTSDBWALAppend(b *testing.B) {
+	db, err := tsdb.Open(tsdb.Options{DataDir: b.TempDir(), FsyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, v := loadavgSample(i)
+		db.Append("bench/loadavg", t, v)
+	}
+	b.StopTimer()
+	if st := db.PersistStats(); st.WALErrors > 0 {
+		b.Fatalf("WAL errors during benchmark: %+v", st)
+	}
+}
+
+// copyDataDir clones a tsdb data directory (flat: WAL segments and chunk
+// files) so each benchmark iteration recovers from identical on-disk state.
+func copyDataDir(b *testing.B, src string) string {
+	b.Helper()
+	dst := b.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// BenchmarkTSDBReplay measures kill-9 recovery: opening a store whose 50k
+// samples sit only in the WAL (never sealed) replays every record through
+// CRC verification and the compressed append path.
+func BenchmarkTSDBReplay(b *testing.B) {
+	const n = 50_000
+	src := b.TempDir()
+	// One oversized segment keeps every record in the active WAL (rotated
+	// segments are retired once their chunks persist, which would shrink
+	// the replay under measurement).
+	crashed, err := tsdb.Open(tsdb.Options{DataDir: src, FsyncEvery: -1, WALSegmentBytes: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		t, v := loadavgSample(i)
+		crashed.Append("bench/loadavg", t, v)
+	}
+	// No Close: the WAL stays unsealed on disk, exactly the kill-9 shape.
+	// The handle leaks for the benchmark's lifetime, which is fine.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := copyDataDir(b, src)
+		b.StartTimer()
+		db, err := tsdb.Open(tsdb.Options{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st := db.PersistStats(); st.RecordsReplayed < n {
+			b.Fatalf("replayed %d records, want >= %d", st.RecordsReplayed, n)
+		}
+		db.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTSDBChunkLoad measures clean restart: opening a store that was
+// closed properly loads sealed compressed chunks from chunk files and
+// replays nothing.
+func BenchmarkTSDBChunkLoad(b *testing.B) {
+	const n = 50_000
+	src := b.TempDir()
+	db, err := tsdb.Open(tsdb.Options{DataDir: src, FsyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		t, v := loadavgSample(i)
+		db.Append("bench/loadavg", t, v)
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := copyDataDir(b, src)
+		b.StartTimer()
+		db, err := tsdb.Open(tsdb.Options{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := db.PersistStats()
+		if st.RecordsReplayed != 0 {
+			b.Fatalf("clean restart replayed %d WAL records", st.RecordsReplayed)
+		}
+		if st.ChunksLoaded == 0 {
+			b.Fatal("clean restart loaded no chunks")
+		}
+		db.Close()
+		b.StartTimer()
+	}
 }
 
 // BenchmarkLinpack measures the real linpack kernel used by the workload

@@ -111,6 +111,14 @@ var run = map[string]func(c *adminproto.Client, args []string) error{
 		fmt.Print(out)
 		return nil
 	},
+	"flush": func(c *adminproto.Client, _ []string) error {
+		out, err := c.Flush()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
 }
 
 var errUsage = fmt.Errorf("bad arguments")

@@ -95,6 +95,15 @@ func main() {
 		}
 	}
 	fmt.Println()
+	if cfg.DataDir != "" {
+		ps := node.DMon().Store().PersistStats()
+		fmt.Printf("durable history in %s (fsync every %d): recovered %d chunks + %d WAL records",
+			cfg.DataDir, cfg.FsyncEvery, ps.ChunksLoaded, ps.RecordsReplayed)
+		if ps.RecordsTruncated > 0 {
+			fmt.Printf(", truncated %d torn tail(s) (%d bytes)", ps.RecordsTruncated, ps.BytesTruncated)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("health counters at cluster/%s/health, stats at cluster/%s/stats (via dprocctl)\n", cfg.Name, cfg.Name)
 
 	if *admin != "" {
@@ -110,7 +119,15 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// The deferred closes run in order: admin server first (no new
+	// requests), then node.Close, which stops polling, leaves the channels
+	// and seals the history store (heads persisted, WAL fsynced and
+	// retired) — a clean stop never needs replay on the next start.
+	if cfg.DataDir != "" {
+		fmt.Println("shutting down: sealing durable history")
+	} else {
+		fmt.Println("shutting down")
+	}
 }
 
 func hostnameDefault() string {

@@ -127,6 +127,7 @@ var verbs = []Verb{
 	{Name: "query", Args: "<node> <agg> <metric> [window]",
 		CLIArgs: "<node> <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]",
 		MinArgs: 2, Help: "run a windowed aggregate over a node's history", run: runQuery},
+	{Name: "flush", Help: "seal the active WAL segment, making all history durable", run: runFlush},
 }
 
 // Verbs returns the protocol's verb table in listing order.
@@ -252,6 +253,18 @@ func runWrite(s *Server, args []string, body *bufio.Reader, reply func(string)) 
 	reply("OK\n")
 }
 
+func runFlush(s *Server, _ []string, _ *bufio.Reader, reply func(string)) {
+	if err := s.node.FlushHistory(); err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	if s.node.DMon().Store().Persistent() {
+		reply("OK\nflushed\n")
+		return
+	}
+	reply("OK\nmemory-only store, nothing to flush\n")
+}
+
 func runQuery(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
 	fs := s.node.FS()
 	path := "cluster/" + args[0] + "/query"
@@ -350,6 +363,12 @@ func (c *Client) Status() (string, error) {
 // latency distributions (p50/p95/p99) and recent sampled traces.
 func (c *Client) Stats() (string, error) {
 	return c.roundTrip("stats\n", nil)
+}
+
+// Flush asks the node to seal its active WAL segment, making all appended
+// history durable regardless of the fsync cadence.
+func (c *Client) Flush() (string, error) {
+	return c.roundTrip("flush\n", nil)
 }
 
 // Write delivers data to a pseudo-file (typically a control file).

@@ -89,7 +89,7 @@ func TestVerbTableCoversDispatch(t *testing.T) {
 			t.Fatalf("LookupVerb(%q) = %v, %v", v.Name, got, ok)
 		}
 	}
-	for _, required := range []string{"ls", "cat", "tree", "status", "stats", "write", "query"} {
+	for _, required := range []string{"ls", "cat", "tree", "status", "stats", "write", "query", "flush"} {
 		if !names[required] {
 			t.Fatalf("verb table missing %q", required)
 		}
@@ -269,5 +269,72 @@ func TestConcurrentClients(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestFlushVerbMemoryOnly(t *testing.T) {
+	_, c, _ := newServer(t)
+	out, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "memory-only") {
+		t.Fatalf("flush on memory-only node = %q", out)
+	}
+}
+
+func TestFlushVerbDurableNode(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	host := simres.NewHost("alan", clk, 1)
+	host.SetNoise(0)
+	node, err := core.NewNode(core.Config{
+		Name: "alan", Clock: clk, Source: host, DataDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	srv, err := NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := NewClient(srv.Addr())
+
+	out, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flushed") {
+		t.Fatalf("flush on durable node = %q", out)
+	}
+	// The persistence counters ride the unified stats surface: the admin
+	// verb and the cluster/<node>/stats pseudo-file both carry them.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tsdb wal_appends",
+		"tsdb wal_errors",
+		"tsdb recovery_records_replayed",
+		"tsdb recovery_records_truncated",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("durable node stats missing %q:\n%s", want, stats)
+		}
+	}
+	file, err := c.Cat("cluster/alan/stats")
+	if err != nil || !strings.Contains(file, "tsdb wal_appends") {
+		t.Fatalf("stats pseudo-file missing tsdb counters: %v", err)
+	}
+	// A memory-only node advertises no tsdb subsystem at all.
+	_, cMem, _ := newServer(t)
+	memStats, err := cMem.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(memStats, "tsdb ") {
+		t.Fatalf("memory-only node advertises tsdb counters:\n%s", memStats)
 	}
 }

@@ -27,6 +27,7 @@ func Defaults() Config {
 		PollPeriod:       dmon.DefaultPeriod,
 		HistoryDepth:     dmon.HistoryDepth,
 		HistoryRetention: dmon.DefaultRetention,
+		FsyncEvery:       1,
 		Channel:          kecho.DefaultOptions(),
 		TraceSample:      DefaultTraceSample,
 	}
@@ -69,6 +70,8 @@ func BindFlags(fs *flag.FlagSet, cfg *Config) {
 	fs.IntVar(&cfg.Padding, "padding", cfg.Padding, "extra bytes per monitoring event")
 	fs.IntVar(&cfg.HistoryDepth, "history-depth", cfg.HistoryDepth, "default history view size in samples")
 	fs.DurationVar(&cfg.HistoryRetention, "retention", cfg.HistoryRetention, "raw history retention per metric (<0 = unbounded)")
+	fs.StringVar(&cfg.DataDir, "data-dir", cfg.DataDir, "directory for durable history (WAL + chunk files; empty = memory-only)")
+	fs.IntVar(&cfg.FsyncEvery, "fsync", cfg.FsyncEvery, "WAL fsync cadence in records (1 = every append, <0 = never explicitly)")
 	fs.DurationVar(&cfg.Channel.WriteDeadline, "write-deadline", cfg.Channel.WriteDeadline, "per-peer send deadline (<0 disables)")
 	fs.IntVar(&cfg.Channel.OutboxSize, "outbox", cfg.Channel.OutboxSize, "per-peer outbound queue size in events")
 	fs.IntVar(&cfg.Channel.MaxBatch, "max-batch", cfg.Channel.MaxBatch, "max events coalesced per frame by peer writers (1 disables)")

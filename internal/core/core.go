@@ -53,6 +53,16 @@ type Config struct {
 	// the tsdb store (dmon.DefaultRetention when zero, unbounded when
 	// negative).
 	HistoryRetention time.Duration
+	// DataDir, when non-empty, makes the history store durable: accepted
+	// samples are write-ahead logged and sealed chunks persisted under this
+	// directory, and NewNode recovers existing history on startup (torn
+	// records truncate replay, they never fail the start).
+	DataDir string
+	// FsyncEvery is the WAL fsync cadence in records: 1 (the default)
+	// makes every accepted sample durable immediately, N>1 trades a crash
+	// window of up to N-1 samples for fewer fsyncs, negative never fsyncs
+	// explicitly. Ignored without DataDir.
+	FsyncEvery int
 	// TraceSample samples one monitoring event in TraceSample for per-stage
 	// latency tracing (rounded up to a power of two). Zero or negative
 	// disables tracing; the latency histograms stay on regardless.
@@ -95,13 +105,19 @@ func NewNode(cfg Config) (*Node, error) {
 	if src == nil {
 		src = NewSysinfoSource(clk)
 	}
+	d, err := dmon.OpenWith(cfg.Name, clk, src, dmon.StoreOptions{
+		HistoryDepth: cfg.HistoryDepth,
+		Retention:    cfg.HistoryRetention,
+		DataDir:      cfg.DataDir,
+		FsyncEvery:   cfg.FsyncEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: opening history store: %w", err)
+	}
 	n := &Node{
-		name: cfg.Name,
-		clk:  clk,
-		d: dmon.NewWith(cfg.Name, clk, src, dmon.StoreOptions{
-			HistoryDepth: cfg.HistoryDepth,
-			Retention:    cfg.HistoryRetention,
-		}),
+		name:    cfg.Name,
+		clk:     clk,
+		d:       d,
 		fs:      vfs.New(),
 		tracked: map[string]bool{},
 	}
@@ -112,6 +128,7 @@ func NewNode(cfg Config) (*Node, error) {
 	n.obs = obs.New(cfg.Name, n.metrics, cfg.TraceSample)
 	n.d.SetObserver(n.obs)
 	n.d.SetPadding(cfg.Padding)
+	n.registerPersistGauges()
 	if cfg.RegistryAddr != "" {
 		// The channels inherit the node clock (unless overridden) so the
 		// reconnect supervisor paces itself on virtual time in simulations,
@@ -127,12 +144,14 @@ func NewNode(cfg Config) (*Node, error) {
 		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, &chOpts)
 		if err != nil {
 			n.regCli.Close()
+			_ = n.d.Close()
 			return nil, fmt.Errorf("core: joining monitoring channel: %w", err)
 		}
 		ctl, err := kecho.Join(n.regCli, dmon.ControlChannel, cfg.Name, &chOpts)
 		if err != nil {
 			mon.Close()
 			n.regCli.Close()
+			_ = n.d.Close()
 			return nil, fmt.Errorf("core: joining control channel: %w", err)
 		}
 		n.mon, n.ctl = mon, ctl
@@ -195,6 +214,45 @@ func (n *Node) buildSelfTree(src dmon.Source) {
 	_ = n.fs.Create(base+"/stats", func() (string, error) {
 		return n.StatsText(), nil
 	}, nil)
+}
+
+// registerPersistGauges surfaces the history store's persistence counters
+// in the unified registry — and thereby in cluster/<node>/stats, the admin
+// stats verb and the Prometheus endpoint. Registered only for a durable
+// store, so their presence doubles as the durability-on signal.
+func (n *Node) registerPersistGauges() {
+	store := n.d.Store()
+	if !store.Persistent() {
+		return
+	}
+	gauge := func(name string, read func(dmon.PersistStats) uint64) {
+		n.metrics.Gauge("tsdb", "", name, func() uint64 { return read(store.PersistStats()) })
+	}
+	// Recovery figures (fixed after startup): what the last open replayed.
+	gauge("recovery_segments_replayed", func(s dmon.PersistStats) uint64 { return s.SegmentsReplayed })
+	gauge("recovery_records_replayed", func(s dmon.PersistStats) uint64 { return s.RecordsReplayed })
+	gauge("recovery_records_truncated", func(s dmon.PersistStats) uint64 { return s.RecordsTruncated })
+	gauge("recovery_bytes_truncated", func(s dmon.PersistStats) uint64 { return s.BytesTruncated })
+	gauge("recovery_chunk_files_loaded", func(s dmon.PersistStats) uint64 { return s.ChunkFilesLoaded })
+	gauge("recovery_chunks_loaded", func(s dmon.PersistStats) uint64 { return s.ChunksLoaded })
+	// Steady state: the WAL and chunk-file write side.
+	gauge("wal_appends", func(s dmon.PersistStats) uint64 { return s.WALAppends })
+	gauge("wal_bytes", func(s dmon.PersistStats) uint64 { return s.WALBytes })
+	gauge("wal_errors", func(s dmon.PersistStats) uint64 { return s.WALErrors })
+	gauge("fsyncs", func(s dmon.PersistStats) uint64 { return s.Fsyncs })
+	gauge("wal_segments_sealed", func(s dmon.PersistStats) uint64 { return s.SegmentsSealed })
+	gauge("wal_segments_deleted", func(s dmon.PersistStats) uint64 { return s.SegmentsDeleted })
+	gauge("chunks_persisted", func(s dmon.PersistStats) uint64 { return s.ChunksPersisted })
+	gauge("chunk_bytes", func(s dmon.PersistStats) uint64 { return s.ChunkBytes })
+	gauge("chunk_files_sealed", func(s dmon.PersistStats) uint64 { return s.ChunkFilesSealed })
+	gauge("chunk_files_deleted", func(s dmon.PersistStats) uint64 { return s.ChunkFilesDeleted })
+}
+
+// FlushHistory seals the history store's active WAL segment, making all
+// appended samples durable regardless of the fsync cadence — the admin
+// "flush" verb. A no-op (nil) on a memory-only node.
+func (n *Node) FlushHistory() error {
+	return n.d.Store().Flush()
 }
 
 // Health returns the node's self-healing view over the unified metric
@@ -376,6 +434,12 @@ func (n *Node) Close() error {
 		if err := n.regCli.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	// History store last, once nothing can append anymore: heads are
+	// persisted, the WAL sealed and retired, so a clean shutdown never
+	// needs replay on the next start.
+	if err := n.d.Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }

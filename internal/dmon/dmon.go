@@ -62,13 +62,31 @@ func New(node string, clk clock.Clock, src Source) *DMon {
 }
 
 // NewWith is New with explicit history options (depth/retention) for the
-// store backing /proc/cluster.
+// store backing /proc/cluster. The store is memory-only; use OpenWith for
+// a durable one.
 func NewWith(node string, clk clock.Clock, src Source, opts StoreOptions) *DMon {
+	opts.DataDir = ""
+	d, err := OpenWith(node, clk, src, opts)
+	if err != nil {
+		panic("dmon: memory-only store cannot fail: " + err.Error()) // unreachable
+	}
+	return d
+}
+
+// OpenWith is NewWith honoring StoreOptions.DataDir: with one set, the
+// node's history store is durable and existing history is recovered before
+// the d-mon comes up. Pair with Close so a clean shutdown never needs
+// replay.
+func OpenWith(node string, clk clock.Clock, src Source, opts StoreOptions) (*DMon, error) {
+	store, err := OpenStore(opts)
+	if err != nil {
+		return nil, err
+	}
 	d := &DMon{
 		node:  node,
 		clk:   clk,
 		vms:   ecode.NewVMPool(),
-		store: NewStoreWith(opts),
+		store: store,
 	}
 	for r := range d.config {
 		d.config[r] = ResourceConfig{Period: DefaultPeriod}
@@ -80,8 +98,12 @@ func NewWith(node string, clk clock.Clock, src Source, opts StoreOptions) *DMon 
 	}
 	d.env = ecode.NewEnv(FilterSpec(), int(metrics.NumIDs))
 	d.env.Input = make([]ecode.Record, metrics.NumIDs)
-	return d
+	return d, nil
 }
+
+// Close seals and flushes the history store (see Store.Close). The d-mon's
+// channels are managed by the caller and unaffected.
+func (d *DMon) Close() error { return d.store.Close() }
 
 // FilterSpec returns the E-code environment spec filters are compiled
 // against: every metric's upper-case symbol bound to its ID.

@@ -34,6 +34,16 @@ type StoreOptions struct {
 	// ChunkSize is the tsdb chunk size in samples (tsdb default when
 	// zero).
 	ChunkSize int
+	// DataDir, when non-empty, makes history durable: appends are
+	// write-ahead logged and sealed chunks persisted under this directory,
+	// and OpenStore recovers both on restart (see tsdb.Options.DataDir).
+	DataDir string
+	// FsyncEvery is the WAL fsync cadence in records (tsdb convention:
+	// 0 = every record, negative = never explicitly).
+	FsyncEvery int
+	// FS overrides the filesystem the persistence layer runs on (nil =
+	// the real one); tests inject faultnet's disk-fault injector here.
+	FS tsdb.FS
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -66,21 +76,63 @@ type Store struct {
 // NewStore returns an empty store with default options.
 func NewStore() *Store { return NewStoreWith(StoreOptions{}) }
 
-// NewStoreWith returns an empty store with the given history options.
+// NewStoreWith returns an empty in-memory store with the given history
+// options; a DataDir in opts is ignored. Use OpenStore for a durable store.
 func NewStoreWith(opts StoreOptions) *Store {
+	opts.DataDir = ""
+	s, err := OpenStore(opts)
+	if err != nil {
+		panic("dmon: memory-only store cannot fail: " + err.Error()) // unreachable
+	}
+	return s
+}
+
+// OpenStore returns a store with the given history options. With a DataDir
+// it is durable: existing history is recovered from disk (chunk files plus
+// WAL replay, truncating at torn records) before the store accepts
+// updates, and the error reflects an unreadable data dir.
+func OpenStore(opts StoreOptions) (*Store, error) {
 	opts = opts.withDefaults()
+	db, err := tsdb.Open(tsdb.Options{
+		ChunkSize:  opts.ChunkSize,
+		Retention:  opts.Retention,
+		Tiers:      tsdb.DefaultTiers(opts.Retention),
+		DataDir:    opts.DataDir,
+		FsyncEvery: opts.FsyncEvery,
+		FS:         opts.FS,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Store{
-		opts: opts,
-		data: map[string]map[metrics.ID]metrics.Sample{},
-		db: tsdb.NewDB(tsdb.Options{
-			ChunkSize: opts.ChunkSize,
-			Retention: opts.Retention,
-			Tiers:     tsdb.DefaultTiers(opts.Retention),
-		}),
+		opts:    opts,
+		data:    map[string]map[metrics.ID]metrics.Sample{},
+		db:      db,
 		lastRpt: map[string]time.Time{},
 		reports: map[string]uint64{},
-	}
+	}, nil
 }
+
+// PersistStats re-exports the tsdb persistence counters so store users
+// (core's stats gauges) need not import tsdb themselves.
+type PersistStats = tsdb.PersistStats
+
+// Persistent reports whether the store writes history to disk.
+func (s *Store) Persistent() bool { return s.db.Persistent() }
+
+// PersistStats returns the history store's persistence counters (all zero
+// for an in-memory store).
+func (s *Store) PersistStats() PersistStats { return s.db.PersistStats() }
+
+// Flush seals the active WAL segment, making all appended history durable
+// regardless of the fsync cadence. A no-op for an in-memory store.
+func (s *Store) Flush() error { return s.db.Flush() }
+
+// Close seals and flushes the history store: head chunks are persisted,
+// the WAL is retired, and a cleanly closed store replays nothing on the
+// next OpenStore. Updates after Close keep the latest-value map current
+// but no longer reach history.
+func (s *Store) Close() error { return s.db.Close() }
 
 // seriesKey names the tsdb series for (node, metric). Metric names never
 // contain '/', so the node prefix is unambiguous for DropPrefix.

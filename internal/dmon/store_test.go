@@ -182,3 +182,77 @@ func TestQuickHistoryWraparound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDurableStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{DataDir: dir}
+	s, err := OpenStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	if !s.Persistent() {
+		t.Fatal("store with DataDir not persistent")
+	}
+	if st := s.PersistStats(); st.WALAppends != 20 {
+		t.Fatalf("WALAppends = %d, want 20", st.WALAppends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates after Close keep the latest-value map live but skip history.
+	s.Update(reportAt("alan", 21, 21))
+	if v, ok := s.Value("alan", metrics.LOADAVG); !ok || v != 21 {
+		t.Fatalf("latest value after close = %v, %v", v, ok)
+	}
+
+	re, err := OpenStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	h := re.History("alan", metrics.LOADAVG, 0)
+	if len(h) != 20 {
+		t.Fatalf("recovered history length = %d, want 20", len(h))
+	}
+	for i, sample := range h {
+		if sample.Value != float64(i+1) {
+			t.Fatalf("recovered history = %v, want 1..20", h)
+		}
+	}
+	// The recovered store answers queries and keeps accumulating.
+	out, err := re.Query("alan", "max loadavg")
+	if err != nil || !strings.Contains(out, "value 20") {
+		t.Fatalf("query after recovery = %q, %v", out, err)
+	}
+	re.Update(reportAt("alan", 30, 30))
+	if h := re.History("alan", metrics.LOADAVG, 1); len(h) != 1 || h[0].Value != 30 {
+		t.Fatalf("append after recovery = %v", h)
+	}
+}
+
+func TestDurableStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{DataDir: dir}
+	s, err := OpenStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		s.Update(reportAt("alan", uint64(i), float64(i)))
+	}
+	// No Close: the process dies. Default cadence fsyncs every record.
+	re, err := OpenStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.PersistStats(); st.RecordsReplayed != 7 {
+		t.Fatalf("RecordsReplayed = %d, want 7: %+v", st.RecordsReplayed, st)
+	}
+	if h := re.History("alan", metrics.LOADAVG, 0); len(h) != 7 {
+		t.Fatalf("recovered history length = %d, want 7", len(h))
+	}
+}

@@ -154,6 +154,17 @@ func (c *Chunk) Append(t int64, v float64) {
 // Summary returns the chunk's running digest.
 func (c *Chunk) Summary() Summary { return c.summary }
 
+// Data returns the chunk's compressed bytes. The slice aliases the chunk's
+// internal buffer; callers must copy it if they outlive the next Append.
+func (c *Chunk) Data() []byte { return c.w.bytes() }
+
+// newSealedChunk reconstructs a chunk from a persisted summary and its
+// compressed bytes. The result is read-only by convention: it is only ever
+// placed in a series' sealed list, which is never appended to.
+func newSealedChunk(sum Summary, data []byte) *Chunk {
+	return &Chunk{w: bitWriter{buf: data}, summary: sum}
+}
+
 // Bytes returns the compressed size of the chunk in bytes.
 func (c *Chunk) Bytes() int { return len(c.w.buf) }
 

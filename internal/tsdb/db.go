@@ -8,29 +8,160 @@ import (
 
 // DB is a concurrency-safe collection of named series sharing one Options
 // set. dmon.Store keys series as "<node>/<metric>"; any string works.
+//
+// With Options.DataDir set (via Open), the DB is durable: accepted appends
+// are write-ahead logged before they reach the head chunk, sealed chunks
+// are persisted verbatim to chunk files, and Open replays both on restart,
+// truncating at the first torn record instead of failing. See persist.go
+// and wal.go for the on-disk format; DESIGN.md §10 for the invariants.
 type DB struct {
-	mu     sync.RWMutex
-	opts   Options
-	series map[string]*Series
+	mu      sync.RWMutex
+	opts    Options
+	series  map[string]*Series
+	persist *persister // nil = memory-only
+	closed  bool
 }
 
-// NewDB returns an empty store; series are created on first append.
+// NewDB returns an empty memory-only store; series are created on first
+// append. Use Open for a durable store.
 func NewDB(opts Options) *DB {
-	return &DB{opts: opts.withDefaults(), series: map[string]*Series{}}
+	opts.DataDir = ""
+	db, _ := Open(opts)
+	return db
+}
+
+// Open returns a store backed by opts.DataDir (memory-only when empty):
+// existing chunk files are loaded, the WAL is replayed on top — torn or
+// corrupt records truncate replay at the tear, they never fail the open —
+// and a fresh WAL segment is armed for new appends. The recovery figures
+// land in PersistStats.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	db := &DB{opts: opts, series: map[string]*Series{}}
+	if opts.DataDir == "" {
+		return db, nil
+	}
+	db.persist = newPersister(opts)
+	if err := db.persist.recover(db); err != nil {
+		return nil, err
+	}
+	// Recovery may have loaded samples that retention has since expired;
+	// evict exactly as a fresh append at each series' newest time would.
+	for _, s := range db.series {
+		if s.count > 0 {
+			s.evict(s.lastT())
+		}
+	}
+	return db, nil
 }
 
 // Append adds a sample to the named series, creating it if needed. It
 // reports whether the sample was retained (false for non-increasing
-// timestamps).
+// timestamps, or after Close).
+//
+// On a durable DB the sample is WAL-logged before it reaches the head
+// chunk; with FsyncEvery == 1 (the default) it is fsync-durable before
+// Append returns. WAL write failures (disk full, torn device) are counted
+// in PersistStats.WALErrors and the sample is still retained in memory —
+// the store degrades to memory-only rather than dropping live monitoring
+// data.
 func (db *DB) Append(name string, t int64, v float64) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return false
+	}
+	s := db.getOrCreate(name)
+	if !s.accepts(t) {
+		s.dropped++
+		return false
+	}
+	if db.persist != nil {
+		db.persist.logAppend(name, t, floatBits(v))
+	}
+	return s.Append(t, v)
+}
+
+// getOrCreate returns the named series, creating and (for a durable DB)
+// binding its seal hook. Caller holds db.mu.
+func (db *DB) getOrCreate(name string) *Series {
 	s, ok := db.series[name]
 	if !ok {
 		s = NewSeries(db.opts)
+		if db.persist != nil {
+			p := db.persist
+			s.onSeal = func(c *Chunk) { p.persistChunk(name, c) }
+		}
 		db.series[name] = s
 	}
-	return s.Append(t, v)
+	return s
+}
+
+// replayAppend applies one recovered WAL record: no re-logging, and
+// already-covered records (chunk/WAL overlap) are skipped without counting
+// as drops. Called by recover with db.mu effectively exclusive (the DB is
+// not yet published).
+func (db *DB) replayAppend(name string, t int64, v uint64) bool {
+	return db.getOrCreate(name).appendReplay(t, floatFromBits(v))
+}
+
+// loadChunk restores one persisted chunk into the named series.
+func (db *DB) loadChunk(name string, sum Summary, data []byte) bool {
+	return db.getOrCreate(name).loadSealed(sum, data)
+}
+
+// Flush seals the active WAL segment — fsync, close, open the next — so
+// everything appended so far is durable regardless of the fsync cadence,
+// then retires WAL segments and chunk files that are no longer
+// load-bearing. A no-op on a memory-only store.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.persist == nil || db.closed {
+		return nil
+	}
+	w := db.persist.wal
+	// Only an active segment holding records needs sealing; rotating an
+	// empty segment would just churn files (and fsyncs) for nothing.
+	if w.size > walHeaderLen {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	w.dropSafe(db.persist.safeT)
+	db.persist.evictFiles()
+	return nil
+}
+
+// Close makes the store durable and terminal: head chunks are persisted
+// as chunk records, the active chunk file is sealed with its index footer,
+// and the WAL is deleted — a cleanly closed store replays nothing on the
+// next Open. Further appends return false.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.persist == nil {
+		return nil
+	}
+	return db.persist.close(db.series)
+}
+
+// Persistent reports whether the store has a data dir behind it.
+func (db *DB) Persistent() bool { return db.persist != nil }
+
+// PersistStats returns a snapshot of the persistence counters (all zero
+// for a memory-only store).
+func (db *DB) PersistStats() PersistStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.persist == nil {
+		return PersistStats{}
+	}
+	return db.persist.stats
 }
 
 // Tail returns the newest n samples of the named series, oldest first

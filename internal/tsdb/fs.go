@@ -1,0 +1,76 @@
+package tsdb
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the persistence layer runs on. The
+// default implementation (OSFS) is a thin veneer over package os;
+// internal/faultnet wraps it with a scripted disk-fault injector (torn
+// writes, short reads, ENOSPC, sync failures) so every recovery path is
+// exercised deterministically in tests instead of waiting for real disks
+// to misbehave.
+//
+// The layer deliberately never reopens a file for append: WAL segments and
+// chunk files are created once, written sequentially, and only ever read
+// back whole. That keeps the interface to five calls and makes a torn
+// write indistinguishable from a crash — exactly the case recovery is
+// built for.
+type FS interface {
+	// MkdirAll ensures dir (and parents) exist.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) in dir, sorted. A missing
+	// directory is an error.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for sequential writing, truncating any previous
+	// contents.
+	Create(name string) (FileWriter, error)
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// FileWriter is an open file being written sequentially. Sync must not
+// return until previously written bytes are durable; the WAL's
+// ack-after-fsync contract leans on that.
+type FileWriter interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS: the real filesystem via package os.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (FileWriter, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }

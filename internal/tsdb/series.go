@@ -48,11 +48,44 @@ type Options struct {
 	// samples. Nil means no tiers; use DefaultTiers for the standard
 	// ladder.
 	Tiers []TierSpec
+
+	// DataDir, when non-empty, makes the DB durable: appends are
+	// write-ahead logged before reaching the head chunk, sealed chunks are
+	// persisted verbatim to chunk files, and Open recovers both on
+	// restart. Empty keeps the store memory-only. Only Open honors this;
+	// NewDB is always memory-only.
+	DataDir string
+	// FsyncEvery is the WAL fsync cadence in records: 1 (the default)
+	// makes every accepted append durable before it returns, N>1 trades a
+	// crash window of up to N-1 records for fewer fsyncs, and a negative
+	// value never fsyncs explicitly (durability at the OS's leisure).
+	FsyncEvery int
+	// WALSegmentBytes is the WAL segment rotation threshold
+	// (DefaultWALSegmentBytes when zero).
+	WALSegmentBytes int
+	// ChunkFileBytes is the chunk-file rotation threshold
+	// (DefaultChunkFileBytes when zero).
+	ChunkFileBytes int
+	// FS is the filesystem the persistence layer runs on; nil selects the
+	// real one (OSFS). Tests inject faultnet's disk-fault injector here.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = DefaultChunkSize
+	}
+	if o.FsyncEvery == 0 {
+		o.FsyncEvery = DefaultFsyncEvery
+	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = DefaultWALSegmentBytes
+	}
+	if o.ChunkFileBytes <= 0 {
+		o.ChunkFileBytes = DefaultChunkFileBytes
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
 	}
 	return o
 }
@@ -150,6 +183,11 @@ type Series struct {
 	head   *Chunk
 	tiers  []*tier
 
+	// onSeal, when set (by a persistent DB), receives each chunk the
+	// moment the head seals behind a fresh one, so the compressed bytes
+	// hit the chunk file while they are still hot.
+	onSeal func(c *Chunk)
+
 	count   int    // retained raw samples across all chunks
 	dropped uint64 // appends rejected for non-increasing timestamps
 }
@@ -179,8 +217,12 @@ func (s *Series) Append(t int64, v float64) bool {
 		return false
 	}
 	if s.head.summary.Count >= s.opts.ChunkSize {
-		s.sealed = append(s.sealed, s.head)
+		sealed := s.head
+		s.sealed = append(s.sealed, sealed)
 		s.head = &Chunk{}
+		if s.onSeal != nil {
+			s.onSeal(sealed)
+		}
 	}
 	s.head.Append(t, v)
 	s.count++
@@ -188,6 +230,44 @@ func (s *Series) Append(t int64, v float64) bool {
 		tr.observe(t, v)
 	}
 	s.evict(t)
+	return true
+}
+
+// accepts reports whether a sample at t would be retained (strictly
+// increasing timestamps). The persistent append path checks this before
+// writing the WAL record, so rejected duplicates are never logged.
+func (s *Series) accepts(t int64) bool {
+	return s.count == 0 || t > s.lastT()
+}
+
+// appendReplay is Append for WAL replay: rejected (already-covered)
+// records are skipped without inflating the Dropped counter, since
+// chunk/WAL overlap is expected, not an anomaly.
+func (s *Series) appendReplay(t int64, v float64) bool {
+	if !s.accepts(t) {
+		return false
+	}
+	return s.Append(t, v)
+}
+
+// loadSealed restores one persisted chunk (newest last; the caller feeds
+// chunk files in write order). The samples are decoded once to rebuild the
+// downsampling tiers, which live only in memory.
+func (s *Series) loadSealed(sum Summary, data []byte) bool {
+	if s.count > 0 && sum.TMin <= s.lastT() {
+		return false // out of order relative to already-loaded history
+	}
+	c := newSealedChunk(sum, data)
+	s.sealed = append(s.sealed, c)
+	s.count += sum.Count
+	if len(s.tiers) > 0 {
+		it := c.Iter()
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			for _, tr := range s.tiers {
+				tr.observe(p.T, p.V)
+			}
+		}
+	}
 	return true
 }
 

@@ -1,0 +1,274 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path"
+)
+
+// The write-ahead log: every accepted raw append is framed, CRC'd and
+// written to the active segment file before it lands in the in-memory head
+// chunk, so the samples that have not yet been sealed into a chunk file
+// survive a crash. Segments are created once, written sequentially, never
+// reopened for append, and replayed whole on open; a torn or corrupt
+// record truncates replay at the tear instead of failing the open (the
+// bytes past a tear are by definition unacknowledged).
+//
+// Segment file layout (wal-<seq>.log, little-endian throughout):
+//
+//	header:  8-byte magic "dprocwal", 1-byte version
+//	record:  u32 payload length, u32 CRC-32 (IEEE) of payload, payload
+//	payload: u8 record type (1 = sample), u16 series-name length,
+//	         name bytes, i64 timestamp (ns), u64 value bits
+//
+// A segment becomes deletable once every sample it holds is either sealed
+// into a persisted chunk or past the retention horizon of its series; the
+// per-segment seriesMax map is the bookkeeping behind that check.
+
+const (
+	walMagic     = "dprocwal"
+	walVersion   = 1
+	recSample    = 1
+	walHeaderLen = len(walMagic) + 1
+	recOverhead  = 8 // length + CRC prefix
+)
+
+// DefaultWALSegmentBytes is the segment rotation threshold when
+// Options.WALSegmentBytes is zero.
+const DefaultWALSegmentBytes = 1 << 20
+
+// DefaultFsyncEvery is the fsync cadence when Options.FsyncEvery is zero:
+// one fsync per appended record, i.e. every accepted append is durable
+// before Append returns.
+const DefaultFsyncEvery = 1
+
+// walSegmentMeta describes one closed-but-undeleted segment.
+type walSegmentMeta struct {
+	seq       uint64
+	name      string // file path
+	seriesMax map[string]int64
+}
+
+// wal is the segmented write-ahead log. It has no lock of its own: the
+// owning DB serializes every call under db.mu.
+type wal struct {
+	fs  FS
+	dir string
+
+	seq       uint64     // active segment sequence
+	w         FileWriter // nil after an unrecovered create failure
+	size      int        // bytes written to the active segment
+	scratch   []byte     // reused record-encode buffer (hot path: 0 allocs)
+	sinceSync int
+	seriesMax map[string]int64 // newest timestamp per series, active segment
+
+	fsyncEvery int // records per fsync; <0 never
+	segBytes   int
+
+	segments []walSegmentMeta // closed segments on disk, ascending seq
+
+	stats *PersistStats
+}
+
+func walSegmentName(dir string, seq uint64) string {
+	return path.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+// openSegment starts a fresh active segment at w.seq.
+func (w *wal) openSegment() error {
+	fw, err := w.fs.Create(walSegmentName(w.dir, w.seq))
+	if err != nil {
+		w.w = nil
+		return err
+	}
+	hdr := append(w.scratch[:0], walMagic...)
+	hdr = append(hdr, walVersion)
+	if _, err := fw.Write(hdr); err != nil {
+		_ = fw.Close()
+		w.w = nil
+		return err
+	}
+	w.w = fw
+	w.size = walHeaderLen
+	w.sinceSync = 0
+	w.seriesMax = map[string]int64{}
+	return nil
+}
+
+// append logs one accepted sample. The caller has already established the
+// sample will be retained (strictly increasing timestamp).
+func (w *wal) append(name string, t int64, v uint64) error {
+	if w.w == nil {
+		return fmt.Errorf("tsdb: wal segment unavailable")
+	}
+	buf := w.scratch[:0]
+	payload := 1 + 2 + len(name) + 8 + 8
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = append(buf, 0, 0, 0, 0) // CRC placeholder
+	buf = append(buf, recSample)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+	buf = binary.LittleEndian.AppendUint64(buf, v)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	w.scratch = buf[:0] // retain the (possibly grown) buffer
+	n, err := w.w.Write(buf)
+	w.size += n
+	if err != nil {
+		return err
+	}
+	w.stats.WALAppends++
+	w.stats.WALBytes += uint64(len(buf))
+	w.seriesMax[name] = t
+	w.sinceSync++
+	if w.fsyncEvery > 0 && w.sinceSync >= w.fsyncEvery {
+		if err := w.w.Sync(); err != nil {
+			return err
+		}
+		w.stats.Fsyncs++
+		w.sinceSync = 0
+	}
+	if w.size >= w.segBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// rotate seals the active segment (fsync + close) and opens the next one.
+// The sealed segment stays on disk until deletable.
+func (w *wal) rotate() error {
+	if err := w.seal(); err != nil {
+		return err
+	}
+	w.seq++
+	return w.openSegment()
+}
+
+// seal makes the active segment durable and closes it, recording its
+// deletion bookkeeping. After seal the wal accepts no appends until
+// openSegment runs again.
+func (w *wal) seal() error {
+	if w.w == nil {
+		return nil
+	}
+	syncErr := w.w.Sync()
+	if syncErr == nil {
+		w.stats.Fsyncs++
+	}
+	closeErr := w.w.Close()
+	w.w = nil
+	w.segments = append(w.segments, walSegmentMeta{
+		seq: w.seq, name: walSegmentName(w.dir, w.seq), seriesMax: w.seriesMax,
+	})
+	w.seriesMax = nil
+	w.stats.SegmentsSealed++
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// dropSafe deletes closed segments whose every sample is covered by safeT:
+// a segment goes once, for each series it touches, safeT(series) has
+// reached the segment's newest timestamp for that series (the sample is in
+// a persisted chunk or past retention).
+func (w *wal) dropSafe(safeT func(series string) int64) {
+	kept := w.segments[:0]
+	blocked := false
+	for _, seg := range w.segments {
+		safe := !blocked
+		if safe {
+			for series, maxT := range seg.seriesMax {
+				if safeT(series) < maxT {
+					safe = false
+					break
+				}
+			}
+		}
+		if !safe {
+			// Delete strictly oldest-first so the on-disk set is always a
+			// contiguous suffix and replay order stays trivial.
+			blocked = true
+			kept = append(kept, seg)
+			continue
+		}
+		if err := w.fs.Remove(seg.name); err == nil {
+			w.stats.SegmentsDeleted++
+		} else {
+			blocked = true
+			kept = append(kept, seg)
+		}
+	}
+	w.segments = kept
+}
+
+// dropAll deletes every WAL segment, active one included — the clean-close
+// path, taken only after every retained sample is persisted in chunk
+// files.
+func (w *wal) dropAll() error {
+	var firstErr error
+	for _, seg := range w.segments {
+		if err := w.fs.Remove(seg.name); err != nil && firstErr == nil {
+			firstErr = err
+		} else if err == nil {
+			w.stats.SegmentsDeleted++
+		}
+	}
+	w.segments = nil
+	return firstErr
+}
+
+// walRecord is one decoded sample record.
+type walRecord struct {
+	name string
+	t    int64
+	v    uint64
+}
+
+// scanWALSegment parses a segment's bytes, calling fn for every intact
+// sample record in order. It returns the count of replayed records; a torn
+// or corrupt record stops the scan, counting one tear and the discarded
+// byte tail in stats — never an error, because a tail past the last intact
+// record is exactly what a crash mid-append leaves behind.
+func scanWALSegment(buf []byte, stats *PersistStats, fn func(r walRecord)) {
+	if len(buf) < walHeaderLen || string(buf[:len(walMagic)]) != walMagic {
+		if len(buf) > 0 {
+			stats.RecordsTruncated++
+			stats.BytesTruncated += uint64(len(buf))
+		}
+		return
+	}
+	off := walHeaderLen
+	for off < len(buf) {
+		rest := buf[off:]
+		if len(rest) < recOverhead {
+			break // torn length/CRC prefix
+		}
+		plen := int(binary.LittleEndian.Uint32(rest[:4]))
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if plen < 1 || plen > len(rest)-recOverhead {
+			break // torn or corrupt payload
+		}
+		payload := rest[recOverhead : recOverhead+plen]
+		if crc32.ChecksumIEEE(payload) != want {
+			break
+		}
+		if payload[0] == recSample && plen >= 1+2+16 {
+			nameLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+			if 3+nameLen+16 == plen {
+				fn(walRecord{
+					name: string(payload[3 : 3+nameLen]),
+					t:    int64(binary.LittleEndian.Uint64(payload[3+nameLen:])),
+					v:    binary.LittleEndian.Uint64(payload[3+nameLen+8:]),
+				})
+				stats.RecordsReplayed++
+			}
+		}
+		off += recOverhead + plen
+	}
+	if off < len(buf) {
+		stats.RecordsTruncated++
+		stats.BytesTruncated += uint64(len(buf) - off)
+	}
+}
