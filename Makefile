@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check figures bench allocgate
+.PHONY: build test race vet check figures bench allocgate sim-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,9 @@ figures:
 # bench runs the tsdb, kecho fan-out and end-to-end hot-path benchmarks
 # (bounded so the target stays quick) and records machine-readable results in
 # BENCH_tsdb.json, BENCH_kecho.json, BENCH_hotpath.json and BENCH_obs.json via
-# cmd/benchjson. The tsdb group covers the persistence paths too: durable
+# cmd/benchjson, plus BENCH_scenario_scaling.json from the 1000-node scaling
+# sweep run by cmd/dprocsim (same JSON schema, so the files sit side by side).
+# The tsdb group covers the persistence paths too: durable
 # WAL append, kill-9 WAL replay and clean-restart chunk load. allocs/op in the kecho and hotpath files is the
 # zero-allocation data-plane regression gate (DESIGN.md §8); BENCH_obs.json
 # compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9).
@@ -40,6 +42,15 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 	$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+	$(GO) run ./cmd/dprocsim -quiet examples/scenarios/scaling.toml
+
+# sim-smoke runs the fast scenario-harness smoke runfile (model engine,
+# virtual time, finishes in well under a second) through the full pipeline:
+# parse, validate (including E-code filter compilation), two sweep points
+# with churn and a partition, and both artifacts. CI runs this and uploads
+# BENCH_scenario_smoke.json so scenario numbers are inspectable per commit.
+sim-smoke:
+	$(GO) run ./cmd/dprocsim examples/scenarios/smoke.toml
 
 # allocgate asserts the tracing-off hot path is still allocation-free: every
 # allocs/op figure from the baseline hot path and the observability-off

@@ -22,6 +22,16 @@ type SimCluster struct {
 // NewSimCluster builds a registry and n interconnected nodes named
 // node0..node{n-1}. Padding sets the monitoring event padding on every node.
 func NewSimCluster(n int, clk clock.Clock, seed int64, padding int) (*SimCluster, error) {
+	return NewSimClusterWith(n, clk, seed, padding, nil)
+}
+
+// NewSimClusterWith is NewSimCluster with a per-node configuration hook:
+// customize (when non-nil) runs on each node's Config after the standard
+// fields are filled in and before the node starts, so harnesses can inject
+// fault-injection transports (faultnet), durable data directories or
+// tracing rates per node. The registry connection itself is not
+// customizable — control-plane traffic stays on plain TCP.
+func NewSimClusterWith(n int, clk clock.Clock, seed int64, padding int, customize func(i int, cfg *Config)) (*SimCluster, error) {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
@@ -33,13 +43,17 @@ func NewSimCluster(n int, clk clock.Clock, seed int64, padding int) (*SimCluster
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("node%d", i)
 		host := simres.NewHost(name, clk, seed+int64(i)*7919)
-		node, err := NewNode(Config{
+		cfg := Config{
 			Name:         name,
 			RegistryAddr: regSrv.Addr(),
 			Clock:        clk,
 			Source:       host,
 			Padding:      padding,
-		})
+		}
+		if customize != nil {
+			customize(i, &cfg)
+		}
+		node, err := NewNode(cfg)
 		if err != nil {
 			c.Close()
 			return nil, err

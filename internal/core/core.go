@@ -18,6 +18,7 @@ import (
 	"dproc/internal/obs"
 	"dproc/internal/registry"
 	"dproc/internal/sysinfo"
+	"dproc/internal/tsdb"
 	"dproc/internal/vfs"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// window of up to N-1 samples for fewer fsyncs, negative never fsyncs
 	// explicitly. Ignored without DataDir.
 	FsyncEvery int
+	// StoreFS, when non-nil, replaces the OS filesystem behind the durable
+	// history store — the hook fault-injection harnesses (faultnet.Disk)
+	// use to script ENOSPC and fsync failures per node. Ignored without
+	// DataDir.
+	StoreFS tsdb.FS
 	// TraceSample samples one monitoring event in TraceSample for per-stage
 	// latency tracing (rounded up to a power of two). Zero or negative
 	// disables tracing; the latency histograms stay on regardless.
@@ -110,6 +116,7 @@ func NewNode(cfg Config) (*Node, error) {
 		Retention:    cfg.HistoryRetention,
 		DataDir:      cfg.DataDir,
 		FsyncEvery:   cfg.FsyncEvery,
+		FS:           cfg.StoreFS,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: opening history store: %w", err)

@@ -1,0 +1,168 @@
+// Report emission. Every run produces two artifacts:
+//
+//   - BENCH_scenario_<name>.json — one benchjson-schema Result per sweep
+//     point (name "scenario/<name>/nodes=<n>"), so the scenario numbers sit
+//     next to the micro-benchmark BENCH_*.json files and feed the same
+//     tooling.
+//   - REPORT_scenario_<name>.md — a human-readable markdown report with a
+//     per-sweep-point table of throughput, drops and propagation
+//     p50/p95/p99, plus the recovery counters and the runfile echo.
+//
+// Neither artifact contains wall-clock input: virtual-time runs of the same
+// runfile are byte-identical, which the determinism test asserts.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// jsonResult mirrors cmd/benchjson's Result schema.
+type jsonResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// EncodeJSON renders the run as a benchjson-compatible JSON array. iters is
+// the delivery count and ns_per_op the median propagation delay — the two
+// axes the paper's scaling figures plot.
+func (r *RunResult) EncodeJSON() ([]byte, error) {
+	out := make([]jsonResult, 0, len(r.Points))
+	for i := range r.Points {
+		p := &r.Points[i]
+		m := map[string]float64{
+			"nodes":          float64(p.Nodes),
+			"duration_s":     p.Duration.Seconds(),
+			"reports":        float64(p.Reports),
+			"events":         float64(p.Events),
+			"deliveries":     float64(p.Deliveries),
+			"drops":          float64(p.Drops),
+			"skips":          float64(p.Skips),
+			"processed":      float64(p.Processed),
+			"bytes_sent":     float64(p.BytesSent),
+			"throughput_eps": p.Throughput(),
+			"publish_eps":    p.PublishRate(),
+			"prop_p50_ns":    float64(p.Prop.Quantile(0.50)),
+			"prop_p95_ns":    float64(p.Prop.Quantile(0.95)),
+			"prop_p99_ns":    float64(p.Prop.Quantile(0.99)),
+		}
+		for _, rc := range p.Recovery {
+			m["recovery_"+rc.Name] = float64(rc.Value)
+		}
+		out = append(out, jsonResult{
+			Name:    fmt.Sprintf("scenario/%s/nodes=%d", r.Scenario.Name, p.Nodes),
+			Iters:   int64(p.Deliveries),
+			NsPerOp: float64(p.Prop.Quantile(0.50)),
+			Metrics: m,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// EncodeReport renders the markdown report.
+func (r *RunResult) EncodeReport() []byte {
+	s := r.Scenario
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Scenario report: %s\n\n", s.Name)
+	fmt.Fprintf(&sb, "Runfile `%s` — engine **%s**, clock **%s**, seed %d, %s per sweep point (tick %s).\n\n",
+		s.Path, s.Engine, s.Clock, s.Seed, fmtDuration(s.Duration), fmtDuration(s.Tick))
+
+	fmt.Fprintf(&sb, "Load: %.4g events/s per node × %d B payload", s.Load.Rate, s.Load.Payload)
+	if s.Load.BurstEvery > 0 {
+		fmt.Fprintf(&sb, ", bursting ×%.3g for %s every %s", s.Load.BurstFactor, fmtDuration(s.Load.BurstLen), fmtDuration(s.Load.BurstEvery))
+	}
+	fmt.Fprintf(&sb, "; filters: %s", s.Filters.Mode)
+	switch s.Filters.Mode {
+	case FilterPeriod:
+		fmt.Fprintf(&sb, " (%s)", fmtDuration(s.Filters.Period))
+	case FilterDiff:
+		fmt.Fprintf(&sb, " (%.4g%%)", s.Filters.DiffPct)
+	}
+	if s.Churn.Fraction > 0 {
+		fmt.Fprintf(&sb, "; churn: %.4g%% every %s, down %s", s.Churn.Fraction*100, fmtDuration(s.Churn.Interval), fmtDuration(s.Churn.Down))
+	}
+	sb.WriteString(".\n\n")
+
+	// The headline table: one row per sweep point.
+	sb.WriteString("## Results\n\n")
+	sb.WriteString("| nodes | published | deliveries | throughput (ev/s) | drops | skips | prop p50 | prop p95 | prop p99 |\n")
+	sb.WriteString("|------:|----------:|-----------:|------------------:|------:|------:|---------:|---------:|---------:|\n")
+	for i := range r.Points {
+		p := &r.Points[i]
+		fmt.Fprintf(&sb, "| %d | %d | %d | %.1f | %d | %d | %s | %s | %s |\n",
+			p.Nodes, p.Reports+p.Events, p.Deliveries, p.Throughput(), p.Drops, p.Skips,
+			fmtDuration(time.Duration(p.Prop.Quantile(0.50))),
+			fmtDuration(time.Duration(p.Prop.Quantile(0.95))),
+			fmtDuration(time.Duration(p.Prop.Quantile(0.99))))
+	}
+	sb.WriteString("\n")
+
+	// Per-point detail: volume and recovery counters.
+	for i := range r.Points {
+		p := &r.Points[i]
+		fmt.Fprintf(&sb, "## nodes = %d\n\n", p.Nodes)
+		fmt.Fprintf(&sb, "- steps: %d (%s of %s ticks)\n", p.Steps, fmtDuration(p.Duration), fmtDuration(s.Tick))
+		fmt.Fprintf(&sb, "- monitoring reports published: %d\n", p.Reports)
+		fmt.Fprintf(&sb, "- workload events published: %d\n", p.Events)
+		fmt.Fprintf(&sb, "- deliveries: %d (%d processed by subscribers)\n", p.Deliveries, p.Processed)
+		fmt.Fprintf(&sb, "- drops (inbox overflow): %d, skips (down/partitioned targets): %d\n", p.Drops, p.Skips)
+		fmt.Fprintf(&sb, "- bytes on the wire: %d\n", p.BytesSent)
+		fmt.Fprintf(&sb, "- propagation samples: %d\n", p.Prop.Count)
+		interesting := false
+		for _, rc := range p.Recovery {
+			if rc.Value > 0 {
+				interesting = true
+				break
+			}
+		}
+		if interesting {
+			sb.WriteString("- recovery counters:")
+			for _, rc := range p.Recovery {
+				if rc.Value > 0 {
+					fmt.Fprintf(&sb, " %s=%d", rc.Name, rc.Value)
+				}
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return []byte(sb.String())
+}
+
+// WriteArtifacts writes both artifacts to the scenario's output paths,
+// creating the output directory if needed, and returns the paths written.
+func (r *RunResult) WriteArtifacts() (jsonPath, reportPath string, err error) {
+	s := r.Scenario
+	jsonPath, reportPath = s.JSONPath(), s.ReportPath()
+	if dir := filepath.Dir(jsonPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", "", fmt.Errorf("scenario: output dir: %w", err)
+		}
+	}
+	if dir := filepath.Dir(reportPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", "", fmt.Errorf("scenario: output dir: %w", err)
+		}
+	}
+	buf, err := r.EncodeJSON()
+	if err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(reportPath, r.EncodeReport(), 0o644); err != nil {
+		return "", "", err
+	}
+	return jsonPath, reportPath, nil
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"time"
+
+	"dproc/internal/obs"
+)
+
+// PointResult is the harvest of one sweep point: the counters every engine
+// fills plus the merged propagation-delay distribution. All values derive
+// from the run itself (virtual-time runs contain no wall-clock input), which
+// is what makes reports byte-reproducible under a fixed seed.
+type PointResult struct {
+	// Nodes is the sweep-point node count.
+	Nodes int
+	// Steps is how many poll ticks ran.
+	Steps int
+	// Duration is the run length (virtual for the model engine).
+	Duration time.Duration
+
+	// Reports counts monitoring reports published by d-mons (post-filter).
+	Reports uint64
+	// Events counts synthetic workload events published.
+	Events uint64
+	// Deliveries counts per-subscriber event deliveries.
+	Deliveries uint64
+	// Drops counts deliveries lost to full subscriber inboxes.
+	Drops uint64
+	// Skips counts deliveries not attempted because the target was down,
+	// churned out or across a partition.
+	Skips uint64
+	// Processed counts events drained by subscribers.
+	Processed uint64
+	// BytesSent counts payload bytes pushed onto the network.
+	BytesSent uint64
+
+	// Prop is the merged cross-node propagation-delay distribution in
+	// nanoseconds.
+	Prop obs.Snapshot
+
+	// Recovery holds engine-specific fault/recovery counters in a fixed
+	// order (slice, not map, so report rendering is deterministic).
+	Recovery []RecoveryCounter
+}
+
+// RecoveryCounter is one named fault/recovery counter.
+type RecoveryCounter struct {
+	Name  string
+	Value uint64
+}
+
+// Throughput returns delivered events per second of run time.
+func (p *PointResult) Throughput() float64 {
+	if p.Duration <= 0 {
+		return 0
+	}
+	return float64(p.Deliveries) / p.Duration.Seconds()
+}
+
+// PublishRate returns published events (reports + workload) per second.
+func (p *PointResult) PublishRate() float64 {
+	if p.Duration <= 0 {
+		return 0
+	}
+	return float64(p.Reports+p.Events) / p.Duration.Seconds()
+}
+
+// RunResult is a full scenario execution: one PointResult per sweep point,
+// in runfile order.
+type RunResult struct {
+	Scenario *Scenario
+	Points   []PointResult
+}
+
+// Run executes every sweep point of the scenario with the engine it names.
+// logf (may be nil) receives one progress line per sweep point.
+func Run(s *Scenario, logf func(format string, args ...any)) (*RunResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &RunResult{Scenario: s}
+	for _, n := range s.Topology.Nodes {
+		logf("scenario %s: engine=%s nodes=%d duration=%s", s.Name, s.Engine, n, s.Duration)
+		var (
+			pt  PointResult
+			err error
+		)
+		switch s.Engine {
+		case EngineModel:
+			pt, err = runModel(s, n)
+		case EngineSockets:
+			pt, err = runSockets(s, n)
+		default:
+			// Validate rejects this; keep the error for direct callers.
+			err = &ParseError{File: s.Path, Section: "scenario", Key: "engine", Msg: "unknown engine " + s.Engine}
+		}
+		if err != nil {
+			return nil, err
+		}
+		logf("  done: %d reports, %d deliveries, %d drops, prop p99 %s",
+			pt.Reports, pt.Deliveries, pt.Drops, time.Duration(pt.Prop.Quantile(0.99)))
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSocketsEngineSmall stands up a real 3-node loopback cluster under the
+// faultnet fabric for a short virtual-time run with a kill/revive pair, and
+// checks the harvest: real deliveries, real propagation samples, and the
+// transport's recovery counters reacting to the fault.
+func TestSocketsEngineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets cluster")
+	}
+	s := Defaults()
+	s.Name = "sockets-small"
+	s.Path = "sockets-small.toml"
+	s.Engine = EngineSockets
+	s.Duration = 6 * time.Second
+	s.Tick = time.Second
+	s.Topology.Nodes = []int{3}
+	s.Load.Rate = 2
+	s.Schedule = []Action{
+		{At: 2 * time.Second, Verb: "kill", Node: "node2", Line: 1},
+		{At: 4 * time.Second, Verb: "revive", Node: "node2", Line: 2},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Reports == 0 {
+		t.Fatal("no monitoring reports published")
+	}
+	if pt.Events == 0 {
+		t.Fatal("no workload events published")
+	}
+	if pt.Deliveries == 0 {
+		t.Fatal("no events delivered over the wire")
+	}
+	if pt.Prop.Count == 0 {
+		t.Fatal("no propagation samples (trace extension not flowing)")
+	}
+	rc := map[string]uint64{}
+	for _, c := range pt.Recovery {
+		rc[c.Name] = c.Value
+	}
+	if rc["kills"] != 1 || rc["revives"] != 1 {
+		t.Fatalf("schedule verbs not accounted: %v", rc)
+	}
+	if rc["conns_killed"] == 0 {
+		t.Fatalf("fabric crash severed no connections: %v", rc)
+	}
+}
+
+// TestSocketsEngineDurable exercises the disk-fault path: durable stores
+// behind a faultnet disk injector, with a failsync fault mid-run. The run
+// must survive and report the WAL errors it provoked.
+func TestSocketsEngineDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets cluster with durable stores")
+	}
+	s := Defaults()
+	s.Name = "sockets-durable"
+	s.Path = "sockets-durable.toml"
+	s.Engine = EngineSockets
+	s.Duration = 4 * time.Second
+	s.Tick = time.Second
+	s.Topology.Nodes = []int{2}
+	s.DataDir = t.TempDir()
+	s.Schedule = []Action{
+		{At: 2 * time.Second, Verb: "disk", Node: "node0", Arg: "failsync", Line: 1},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Reports == 0 || pt.Deliveries == 0 {
+		t.Fatalf("durable run went quiet: %+v", pt)
+	}
+	rc := map[string]uint64{}
+	for _, c := range pt.Recovery {
+		rc[c.Name] = c.Value
+	}
+	if rc["disk_faults"] != 1 {
+		t.Fatalf("disk fault not applied: %v", rc)
+	}
+}
