@@ -24,33 +24,41 @@ check: vet race
 figures:
 	$(GO) run ./cmd/figures
 
-# bench runs the tsdb, kecho fan-out and end-to-end hot-path benchmarks
-# (bounded so the target stays quick) and records machine-readable results in
-# BENCH_tsdb.json, BENCH_kecho.json, BENCH_hotpath.json and BENCH_obs.json via
-# cmd/benchjson, plus BENCH_scenario_scaling.json from the 1000-node scaling
-# sweep run by cmd/dprocsim (same JSON schema, so the files sit side by side).
+# bench runs the tsdb, kecho fan-out, cluster-query fan-out and end-to-end
+# hot-path benchmarks (bounded so the target stays quick) and records
+# machine-readable results in BENCH_tsdb.json, BENCH_kecho.json,
+# BENCH_query.json, BENCH_hotpath.json and BENCH_obs.json via cmd/benchjson,
+# plus BENCH_scenario_scaling.json from the 1000-node scaling sweep run by
+# cmd/dprocsim (same JSON schema, so the files sit side by side).
 # The tsdb group covers the persistence paths too: durable
 # WAL append, kill-9 WAL replay and clean-restart chunk load. allocs/op in the kecho and hotpath files is the
 # zero-allocation data-plane regression gate (DESIGN.md §8); BENCH_obs.json
-# compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9).
+# compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9);
+# BENCH_query.json tracks scatter-gather coordinator latency vs node count
+# (4/16/64) with the network held at zero (DESIGN.md §12).
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json
 	$(GO) test -run '^$$' -bench '^BenchmarkSubmitFanout' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_kecho.json
+	$(GO) test -run '^$$' -bench '^BenchmarkQueryFanout' -benchmem -benchtime 100x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_query.json
 	$(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 	$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
 	$(GO) run ./cmd/dprocsim -quiet examples/scenarios/scaling.toml
 
-# sim-smoke runs the fast scenario-harness smoke runfile (model engine,
-# virtual time, finishes in well under a second) through the full pipeline:
-# parse, validate (including E-code filter compilation), two sweep points
-# with churn and a partition, and both artifacts. CI runs this and uploads
-# BENCH_scenario_smoke.json so scenario numbers are inspectable per commit.
+# sim-smoke runs the fast scenario-harness smoke runfiles (virtual time,
+# each finishes in well under a second) through the full pipeline: parse,
+# validate (including E-code filter compilation), sweep points with churn
+# and a partition, and both artifacts. query-fault adds the sockets-engine
+# scatter-gather path: queryall fan-outs against a healthy cluster and an
+# annotated partial while a node is down. CI runs this and uploads the
+# BENCH_scenario_*.json files so scenario numbers are inspectable per commit.
 sim-smoke:
 	$(GO) run ./cmd/dprocsim examples/scenarios/smoke.toml
+	$(GO) run ./cmd/dprocsim examples/scenarios/query-fault.toml
 
 # allocgate asserts the tracing-off hot path is still allocation-free: every
 # allocs/op figure from the baseline hot path and the observability-off

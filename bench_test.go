@@ -6,6 +6,7 @@
 package dproc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"dproc/internal/metrics"
 	"dproc/internal/netsim"
 	"dproc/internal/obs"
+	"dproc/internal/query"
 	"dproc/internal/registry"
 	"dproc/internal/simres"
 	"dproc/internal/smartpointer"
@@ -1141,4 +1143,48 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 		b.Fatal("subscriber saw no payload bytes")
 	}
 	b.ReportMetric(float64(seen)/float64(b.N), "payloadB/op")
+}
+
+// BenchmarkQueryFanout measures one cluster-wide scatter-gather query —
+// normalize, bounded fan-out, histogram-merge of per-node percentile parts —
+// against cluster size. The fetch is in-process (each "node" is a local tsdb
+// answering ComputePart), so the numbers isolate the coordinator's own cost:
+// BENCH_query.json tracks how fan-out latency grows from 4 to 64 nodes with
+// the network held at zero.
+func BenchmarkQueryFanout(b *testing.B) {
+	const samplesPerNode = 256
+	for _, nodes := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("nodes_%d", nodes), func(b *testing.B) {
+			dbs := make(map[string]*tsdb.DB, nodes)
+			targets := make([]query.Target, 0, nodes)
+			for i := 0; i < nodes; i++ {
+				name := fmt.Sprintf("node%d", i)
+				db := tsdb.NewDB(tsdb.Options{})
+				for j := 0; j < samplesPerNode; j++ {
+					t := clock.Epoch.Add(time.Duration(j) * 100 * time.Millisecond)
+					db.Append(name+"/loadavg", t.UnixNano(), float64(i*samplesPerNode+j))
+				}
+				dbs[name] = db
+				targets = append(targets, query.Target{Node: name, Addr: name})
+			}
+			fetch := func(ctx context.Context, t query.Target, q tsdb.Query) (query.Part, error) {
+				return query.ComputePart(dbs[t.Node], t.Node+"/loadavg", q)
+			}
+			now := clock.Epoch.Add(time.Duration(samplesPerNode) * 100 * time.Millisecond)
+			q, err := tsdb.ParseQuery("p99 loadavg last 1m")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := query.Run(context.Background(), targets, q, now, fetch, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != 0 || res.Count == 0 {
+					b.Fatalf("fan-out degraded: %+v", res)
+				}
+			}
+		})
+	}
 }

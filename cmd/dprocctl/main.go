@@ -12,6 +12,7 @@
 //	dprocctl -node 127.0.0.1:7501 write cluster/maui/control 'period cpu 2'
 //	cat filter.ec | dprocctl -node 127.0.0.1:7501 write cluster/maui/control -
 //	dprocctl -node 127.0.0.1:7501 query maui 'avg loadavg last 60s'
+//	dprocctl -node 127.0.0.1:7501 queryall p99 loadavg last 60s
 //
 // The verb list and usage text derive from the adminproto verb table: a verb
 // added to the protocol appears here without touching this file's dispatch.
@@ -111,6 +112,17 @@ var run = map[string]func(c *adminproto.Client, args []string) error{
 		fmt.Print(out)
 		return nil
 	},
+	"queryall": func(c *adminproto.Client, args []string) error {
+		if len(args) < 2 {
+			return errUsage
+		}
+		out, err := c.QueryAll(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	},
 	"flush": func(c *adminproto.Client, _ []string) error {
 		out, err := c.Flush()
 		if err != nil {
@@ -125,6 +137,7 @@ var errUsage = fmt.Errorf("bad arguments")
 
 func main() {
 	node := flag.String("node", "127.0.0.1:7501", "dprocd admin socket address")
+	timeout := flag.Duration("timeout", 0, "per-phase I/O timeout (dial, request write, each response read); 0 = 10s default")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -139,6 +152,9 @@ func main() {
 		usage()
 	}
 	client := adminproto.NewClient(*node)
+	if *timeout > 0 {
+		client.SetTimeout(*timeout)
+	}
 	if err := fn(client, args[1:]); err != nil {
 		if err == errUsage {
 			usage()
@@ -162,7 +178,7 @@ func usage() {
 		if argSyn == "" {
 			argSyn = v.Args
 		}
-		line := "  dprocctl [-node addr] " + v.Name
+		line := "  dprocctl [-node addr] [-timeout d] " + v.Name
 		if argSyn != "" {
 			line += " " + argSyn
 		}

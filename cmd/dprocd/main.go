@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics on this address (empty disables)")
+		clusterExp  = flag.String("cluster-export", "", "comma-separated history metrics to scatter-gather as dproc_cluster_* on /metrics (needs -admin)")
 	)
 	flag.Parse()
 
@@ -78,7 +80,38 @@ func main() {
 		node.DMon().Register(dmon.PowerModule(simHost))
 		fmt.Printf("POWER_MON registered (%.0f Wh battery)\n", *battery)
 	}
-	if addr, err := obs.ServeMetrics(*metricsAddr, node.Metrics()); err != nil {
+	var srv *adminproto.Server
+	if *admin != "" {
+		// The admin advertisement heartbeats at the same cadence as the mesh
+		// channels: the operator picks the registry TTL against -reconnect,
+		// and a slower admin heartbeat would let queryall targets expire
+		// between beats. -no-heal silences it like every other heartbeat.
+		hb := cfg.Channel.ReconnectInterval
+		if cfg.Channel.DisableReconnect {
+			hb = -1
+		}
+		srv, err = adminproto.NewServerWith(node, *admin, adminproto.ServerOptions{
+			Timeout:          cfg.AdminTimeout,
+			QueryTimeout:     cfg.QueryTimeout,
+			QueryConcurrency: cfg.QueryFanout,
+			HeartbeatEvery:   hb,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+	var extra []obs.Appender
+	if *clusterExp != "" {
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "dprocd: -cluster-export needs -admin (the exporter scatter-gathers over the admin protocol)")
+			os.Exit(1)
+		}
+		exp := srv.ClusterExporter(strings.Split(*clusterExp, ","), 0)
+		extra = append(extra, exp.Append)
+	}
+	if addr, err := obs.ServeMetrics(*metricsAddr, node.Metrics(), extra...); err != nil {
 		fmt.Fprintln(os.Stderr, "metrics:", err)
 		os.Exit(1)
 	} else if addr != "" {
@@ -106,13 +139,7 @@ func main() {
 	}
 	fmt.Printf("health counters at cluster/%s/health, stats at cluster/%s/stats (via dprocctl)\n", cfg.Name, cfg.Name)
 
-	if *admin != "" {
-		srv, err := adminproto.NewServer(node, *admin)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
+	if srv != nil {
 		fmt.Printf("admin socket on %s\n", srv.Addr())
 	}
 

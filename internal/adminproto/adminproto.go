@@ -9,10 +9,16 @@
 //	stats\n                  → OK\n<self-observability report>
 //	write <path>\n<body EOF> → OK\n
 //	query <node> <query>\n   → OK\n<windowed aggregate result>
+//	queryall <query>\n       → OK\n<cluster-wide merged aggregate>
+//	querypart <query>\n      → OK\n<this node's part, wire form>
 //
 // query is sugar over the cluster/<node>/query pseudo-file: it writes the
 // query string and reads the result back in one round trip; stats is sugar
-// over cluster/<self>/stats.
+// over cluster/<self>/stats. queryall scatter-gathers the query across every
+// node registered on the admin channel and merges the parts (histogram
+// merge for percentiles — never averaged); querypart is the internal verb
+// the coordinator fans out, answering over an absolute pre-normalized
+// window only.
 //
 // Every verb is an entry in one table (Verbs) carrying its name, argument
 // schema and handler; the server dispatch, its usage errors and dprocctl's
@@ -27,6 +33,7 @@ package adminproto
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -37,23 +44,92 @@ import (
 	"dproc/internal/core"
 )
 
+// DefaultTimeout bounds each server-side request/response phase. It used
+// to be a single whole-connection deadline; a multi-second flush or
+// windowed query against a slow disk would kill the connection
+// mid-response. Now every phase (read the request, write each chunk of the
+// response) gets a fresh deadline, so slow-but-alive requests complete
+// while a genuinely stalled peer still times out.
+const DefaultTimeout = 30 * time.Second
+
+// Transport supplies the listen/dial primitives, so fault harnesses can
+// route admin traffic through an injected fabric (faultnet.Host satisfies
+// it). Nil selects plain TCP.
+type Transport interface {
+	Listen(network, address string) (net.Listener, error)
+	DialTimeout(network, address string, timeout time.Duration) (net.Conn, error)
+}
+
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(network, address string) (net.Listener, error) {
+	return net.Listen(network, address)
+}
+
+func (tcpTransport) DialTimeout(network, address string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout(network, address, timeout)
+}
+
+// ServerOptions tunes one admin server; the zero value is a production
+// default (threaded from core.Config by dprocd).
+type ServerOptions struct {
+	// Timeout bounds each request/response phase (DefaultTimeout when 0).
+	Timeout time.Duration
+	// QueryTimeout is the per-node budget of a queryall fan-out
+	// (query.DefaultTimeout when 0).
+	QueryTimeout time.Duration
+	// QueryConcurrency bounds in-flight queryall fetches
+	// (query.DefaultConcurrency when 0).
+	QueryConcurrency int
+	// Transport supplies listen/dial (nil = plain TCP).
+	Transport Transport
+	// NoAdvertise skips joining the admin registry channel; the node then
+	// answers queryall for itself only.
+	NoAdvertise bool
+	// HeartbeatEvery refreshes the admin-channel registration so TTL-expiring
+	// registries keep the node enumerable (DefaultHeartbeat when 0, <0
+	// disables).
+	HeartbeatEvery time.Duration
+}
+
 // Server serves the admin protocol for one node.
 type Server struct {
 	ln   net.Listener
 	node *core.Node
+	opts ServerOptions
 	wg   sync.WaitGroup
+
+	hbStop chan struct{} // admin-channel heartbeat loop, nil when off
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewServer starts an admin server for node on addr (e.g. "127.0.0.1:0").
+// NewServer starts an admin server for node on addr (e.g. "127.0.0.1:0")
+// with default options.
 func NewServer(node *core.Node, addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	return NewServerWith(node, addr, ServerOptions{})
+}
+
+// NewServerWith starts an admin server with explicit options. If the node
+// has a registry, the server joins the admin channel (so peers can
+// enumerate it for scatter-gather queries) and installs the cluster/query
+// control file on the node.
+func NewServerWith(node *core.Node, addr string, opts ServerOptions) (*Server, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = tcpTransport{}
+	}
+	ln, err := tr.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("adminproto: listen: %w", err)
 	}
-	s := &Server{ln: ln, node: node}
+	s := &Server{ln: ln, node: node, opts: opts}
+	s.advertise()
+	node.SetClusterQuerier(s.QueryAll)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -71,6 +147,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+	}
+	s.unadvertise()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -128,6 +208,11 @@ var verbs = []Verb{
 		CLIArgs: "<node> <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]",
 		MinArgs: 2, Help: "run a windowed aggregate over a node's history", run: runQuery},
 	{Name: "flush", Help: "seal the active WAL segment, making all history durable", run: runFlush},
+	{Name: "queryall", Args: "<agg> <metric> [window]",
+		CLIArgs: "<agg> <metric> [from <t> to <t> | last <dur>] [@<res>]",
+		MinArgs: 2, Help: "scatter-gather a windowed aggregate across every registered node", run: runQueryAll},
+	{Name: "querypart", Args: "<agg> <metric> from <t> to <t>",
+		MinArgs: 2, Help: "answer this node's share of a cluster query (internal)", run: runQueryPart},
 }
 
 // Verbs returns the protocol's verb table in listing order.
@@ -156,15 +241,39 @@ func verbNames() string {
 	return strings.Join(names, ", ")
 }
 
+// phasedReader refreshes the connection's read deadline before every Read,
+// bounding each idle gap rather than the whole connection. The phase hook
+// returns the next deadline, letting the client additionally cap all phases
+// with one absolute deadline (the scatter-gather per-node budget).
+type phasedReader struct {
+	conn  net.Conn
+	phase func() time.Time
+}
+
+func (p phasedReader) Read(b []byte) (int, error) {
+	_ = p.conn.SetReadDeadline(p.phase())
+	return p.conn.Read(b)
+}
+
 func (s *Server) serve(conn net.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	r := bufio.NewReader(conn)
+	timeout := s.opts.Timeout
+	phase := func() time.Time { return time.Now().Add(timeout) }
+	r := bufio.NewReader(phasedReader{conn: conn, phase: phase})
 	line, err := r.ReadString('\n')
-	if err != nil && line == "" {
+	// A complete line (newline- or EOF-terminated) is a request; a read
+	// error with a partial line is a stalled or dead client — drop it
+	// rather than interpreting half a command.
+	if err != nil && (line == "" || !errors.Is(err, io.EOF)) {
 		return
 	}
 	fields := strings.Fields(strings.TrimSpace(line))
-	reply := func(str string) { _, _ = io.WriteString(conn, str) }
+	// Each write gets a fresh deadline too: a long-running handler (flush
+	// against a slow disk, a cluster fan-out) may exhaust an earlier
+	// deadline purely computing, which must not poison the response writes.
+	reply := func(str string) {
+		_ = conn.SetWriteDeadline(phase())
+		_, _ = io.WriteString(conn, str)
+	}
 	if len(fields) == 0 {
 		reply("ERR empty command\n")
 		return
@@ -230,6 +339,9 @@ func runStatus(s *Server, _ []string, _ *bufio.Reader, reply func(string)) {
 	reply(fmt.Sprintf("node %s\nmodules %s\nfilter_errors %d\n",
 		s.node.Name(), strings.Join(d.Modules(), ","), d.FilterErrors()))
 	for _, remote := range d.Store().Nodes() {
+		if remote == s.node.Name() {
+			continue // the store holds self history too; self is not a peer
+		}
 		last, count := d.Store().LastReport(remote)
 		reply(fmt.Sprintf("peer %s reports=%d last=%s\n",
 			remote, count, last.Format(time.RFC3339)))
@@ -281,36 +393,79 @@ func runQuery(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
 	reply("OK\n" + result)
 }
 
+// DefaultClientTimeout bounds each client-side phase: the dial, the request
+// write, and every read of the response. Like the server's, it is per
+// phase, not per connection — a response trickling in over longer than the
+// timeout succeeds as long as no single gap exceeds it.
+const DefaultClientTimeout = 10 * time.Second
+
 // Client issues admin protocol requests.
 type Client struct {
-	addr string
+	addr      string
+	timeout   time.Duration // per-phase; DefaultClientTimeout when 0
+	deadline  time.Time     // optional absolute cap across all phases
+	transport Transport     // nil = plain TCP
 }
 
 // NewClient returns a client for the admin server at addr.
 func NewClient(addr string) *Client { return &Client{addr: addr} }
 
+// SetTimeout sets the per-phase timeout (dprocctl -timeout).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetDeadline caps the whole request absolutely, on top of the per-phase
+// timeout — how the scatter-gather coordinator keeps one node's fetch
+// within its per-node budget no matter how many phases it spans.
+func (c *Client) SetDeadline(t time.Time) { c.deadline = t }
+
+// SetTransport routes dials through tr (fault-injection fabrics).
+func (c *Client) SetTransport(tr Transport) { c.transport = tr }
+
+// phase returns the deadline for the next I/O phase: now+timeout, capped
+// by the absolute deadline when one is set.
+func (c *Client) phase() time.Time {
+	timeout := c.timeout
+	if timeout <= 0 {
+		timeout = DefaultClientTimeout
+	}
+	d := time.Now().Add(timeout)
+	if !c.deadline.IsZero() && c.deadline.Before(d) {
+		d = c.deadline
+	}
+	return d
+}
+
 // roundTrip performs one request; body may be nil.
 func (c *Client) roundTrip(header string, body []byte) (string, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	dialBudget := time.Until(c.phase())
+	if dialBudget <= 0 {
+		return "", fmt.Errorf("adminproto: dial %s: deadline exceeded", c.addr)
+	}
+	tr := c.transport
+	if tr == nil {
+		tr = tcpTransport{}
+	}
+	conn, err := tr.DialTimeout("tcp", c.addr, dialBudget)
 	if err != nil {
 		return "", fmt.Errorf("adminproto: dial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetWriteDeadline(c.phase())
 	if _, err := io.WriteString(conn, header); err != nil {
 		return "", err
 	}
 	if body != nil {
+		_ = conn.SetWriteDeadline(c.phase())
 		if _, err := conn.Write(body); err != nil {
 			return "", err
 		}
 	}
-	if tcp, ok := conn.(*net.TCPConn); ok {
-		if err := tcp.CloseWrite(); err != nil {
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		if err := cw.CloseWrite(); err != nil {
 			return "", err
 		}
 	}
-	r := bufio.NewReader(conn)
+	r := bufio.NewReader(phasedReader{conn: conn, phase: c.phase})
 	status, err := r.ReadString('\n')
 	if err != nil {
 		return "", err

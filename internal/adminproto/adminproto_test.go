@@ -36,7 +36,9 @@ func TestListRootAndNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0] != "alan/" {
+	// cluster/ holds the per-node trees plus the cluster-wide query control
+	// file the admin server installs.
+	if len(entries) != 2 || entries[0] != "alan/" || entries[1] != "query" {
 		t.Fatalf("entries = %v", entries)
 	}
 	files, err := c.List("cluster/alan")

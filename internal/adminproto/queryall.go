@@ -1,0 +1,190 @@
+package adminproto
+
+import (
+	"bufio"
+	"context"
+	"strings"
+	"time"
+
+	"dproc/internal/dmon"
+	"dproc/internal/query"
+	"dproc/internal/tsdb"
+)
+
+// AdminChannel is the registry channel admin servers advertise on; peers
+// enumerate it to find every node's admin endpoint for scatter-gather
+// queries. It is a registry-only channel — no kecho event traffic flows on
+// it, membership is the payload.
+const AdminChannel = "dproc.admin"
+
+// DefaultHeartbeat refreshes the admin-channel registration, keeping the
+// node enumerable across registry TTL expiry.
+const DefaultHeartbeat = 5 * time.Second
+
+// advertise joins the admin channel (when the node has a registry and the
+// options allow it) and starts the heartbeat loop that keeps the
+// registration alive.
+func (s *Server) advertise() {
+	reg := s.node.Registry()
+	if reg == nil || s.opts.NoAdvertise {
+		return
+	}
+	// Join errors are tolerated: the node still answers queryall for itself,
+	// and the heartbeat below re-registers once the registry is reachable.
+	_, _ = reg.Join(AdminChannel, s.node.Name(), s.Addr())
+	every := s.opts.HeartbeatEvery
+	if every < 0 {
+		return
+	}
+	if every == 0 {
+		every = DefaultHeartbeat
+	}
+	s.hbStop = make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.hbStop:
+				return
+			case <-t.C:
+				_, _ = reg.Heartbeat(AdminChannel, s.node.Name(), s.Addr())
+			}
+		}
+	}()
+}
+
+// unadvertise leaves the admin channel on shutdown.
+func (s *Server) unadvertise() {
+	if reg := s.node.Registry(); reg != nil && !s.opts.NoAdvertise {
+		_ = reg.Leave(AdminChannel, s.node.Name())
+	}
+}
+
+// targets enumerates the scatter-gather fan-out: every admin endpoint on the
+// registry channel, self included even if its own registration has lapsed.
+// Standalone nodes (no registry) query themselves only.
+func (s *Server) targets() []query.Target {
+	self := query.Target{Node: s.node.Name(), Addr: s.Addr()}
+	reg := s.node.Registry()
+	if reg == nil {
+		return []query.Target{self}
+	}
+	members, err := reg.Lookup(AdminChannel)
+	if err != nil {
+		return []query.Target{self}
+	}
+	targets := make([]query.Target, 0, len(members)+1)
+	hasSelf := false
+	for _, m := range members {
+		targets = append(targets, query.Target{Node: m.ID, Addr: m.Addr})
+		if m.ID == self.Node {
+			hasSelf = true
+		}
+	}
+	if !hasSelf {
+		targets = append(targets, self)
+	}
+	return query.SortTargets(targets)
+}
+
+// fetchPart asks one node for its part over the admin protocol. The
+// context's deadline (the per-node fan-out budget) caps the whole exchange —
+// dial, request, response — via the client's absolute deadline.
+func (s *Server) fetchPart(ctx context.Context, t query.Target, q tsdb.Query) (query.Part, error) {
+	c := NewClient(t.Addr)
+	if d, ok := ctx.Deadline(); ok {
+		c.SetDeadline(d)
+	}
+	c.SetTransport(s.opts.Transport)
+	return c.QueryPart(q)
+}
+
+// QueryAllResult parses text as a windowed aggregate query and
+// scatter-gathers it across every registered node, returning the structured
+// merged result. Node failures annotate the result (Partial); only an
+// unusable query or empty cluster is an error.
+func (s *Server) QueryAllResult(text string) (query.Result, error) {
+	q, err := tsdb.ParseQuery(text)
+	if err != nil {
+		return query.Result{}, err
+	}
+	return query.Run(context.Background(), s.targets(), q, s.node.Clock().Now(), s.fetchPart,
+		query.Options{Timeout: s.opts.QueryTimeout, Concurrency: s.opts.QueryConcurrency})
+}
+
+// QueryAll runs QueryAllResult and renders it as control-file text; it backs
+// both the queryall verb and the node's cluster/query control file.
+func (s *Server) QueryAll(text string) (string, error) {
+	res, err := s.QueryAllResult(text)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// ClusterExporter returns a Prometheus appender that scatter-gathers the
+// given history metrics over a trailing window on every scrape, emitting
+// dproc_cluster_* series (mounted on /metrics via obs.ServeMetrics).
+func (s *Server) ClusterExporter(metrics []string, window time.Duration) *query.ClusterExport {
+	return &query.ClusterExport{
+		Metrics: metrics,
+		Window:  window,
+		Targets: s.targets,
+		Fetch:   s.fetchPart,
+		Now:     func() time.Time { return s.node.Clock().Now() },
+		Options: query.Options{Timeout: s.opts.QueryTimeout, Concurrency: s.opts.QueryConcurrency},
+	}
+}
+
+func runQueryAll(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	out, err := s.QueryAll(strings.Join(args, " "))
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n" + out)
+}
+
+// runQueryPart answers one node's share of a scatter-gather: the local
+// aggregate (or raw histogram buckets, for percentiles) over the
+// already-normalized absolute window the coordinator sends. It refuses
+// relative windows — normalization is the coordinator's job, and accepting
+// "last 5m" here would silently re-anchor it on this node's clock.
+func runQueryPart(s *Server, args []string, _ *bufio.Reader, reply func(string)) {
+	q, err := tsdb.ParseQuery(strings.Join(args, " "))
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	if q.Last > 0 || q.From == 0 && q.To == 0 {
+		reply("ERR querypart needs an absolute window\n")
+		return
+	}
+	series := dmon.SeriesKey(s.node.Name(), q.Metric)
+	p, err := query.ComputePart(s.node.DMon().Store().TSDB(), series, q)
+	if err != nil {
+		reply("ERR " + err.Error() + "\n")
+		return
+	}
+	reply("OK\n" + p.Render())
+}
+
+// QueryAll scatter-gathers a windowed aggregate across every node registered
+// on the coordinator's admin channel and returns the rendered merged result
+// (with per-node provenance lines).
+func (c *Client) QueryAll(q string) (string, error) {
+	return c.roundTrip("queryall "+q+"\n", nil)
+}
+
+// QueryPart asks one node for its part of a normalized query — what the
+// scatter-gather coordinator calls per target.
+func (c *Client) QueryPart(q tsdb.Query) (query.Part, error) {
+	out, err := c.roundTrip("querypart "+q.String()+"\n", nil)
+	if err != nil {
+		return query.Part{}, err
+	}
+	return query.ParsePart(out)
+}

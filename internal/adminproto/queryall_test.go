@@ -1,0 +1,355 @@
+package adminproto
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dproc/internal/clock"
+	"dproc/internal/core"
+	"dproc/internal/dmon"
+	"dproc/internal/faultnet"
+	"dproc/internal/tsdb"
+)
+
+// queryCluster builds an n-node SimCluster on a virtual clock, polls it
+// through `steps` one-second ticks so every node accumulates history, and
+// starts one admin server per node with the given options (all servers share
+// opts; the transport may be a faultnet host per node via mkOpts).
+func queryCluster(t *testing.T, n, steps int, mkOpts func(name string) ServerOptions) (*core.SimCluster, *clock.Virtual, []*Server) {
+	t.Helper()
+	vclk := clock.NewVirtual(clock.Epoch)
+	cluster, err := core.NewSimCluster(n, vclk, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	for i := 0; i < steps; i++ {
+		vclk.Advance(time.Second)
+		if _, _, err := cluster.PollAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers := make([]*Server, n)
+	for i, node := range cluster.Nodes {
+		opts := ServerOptions{}
+		if mkOpts != nil {
+			opts = mkOpts(node.Name())
+		}
+		srv, err := NewServerWith(node, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	t.Cleanup(func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+	})
+	return cluster, vclk, servers
+}
+
+// resultValue extracts "value <g>" from a rendered cluster result.
+func resultValue(t *testing.T, out string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "value "); ok {
+			if rest == "none" {
+				t.Fatalf("result has no value:\n%s", out)
+			}
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("bad value line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no value line in:\n%s", out)
+	return 0
+}
+
+// The acceptance guard for the merge semantics: a queryall p99 over a live
+// 3-node cluster must equal the quantile of the pooled per-node populations
+// (within the histogram's bucket error), with every node contributing its
+// own series exactly once.
+func TestQueryAllMergedP99MatchesPooledPopulation(t *testing.T) {
+	cluster, vclk, servers := queryCluster(t, 3, 20, nil)
+
+	now := vclk.Now()
+	to := now.UnixNano() + 1
+	from := to - (30 * time.Second).Nanoseconds()
+
+	// The reference population: every node's own loadavg samples in the
+	// window, read straight out of the per-node stores.
+	var pooled []float64
+	var perNode []int
+	for _, node := range cluster.Nodes {
+		count := 0
+		node.DMon().Store().TSDB().Scan(dmon.SeriesKey(node.Name(), "loadavg"), from, to, func(p tsdb.Point) {
+			pooled = append(pooled, p.V)
+			count++
+		})
+		perNode = append(perNode, count)
+	}
+	if len(pooled) == 0 {
+		t.Fatal("fixture produced no samples")
+	}
+	sort.Float64s(pooled)
+	idx := int(math.Ceil(0.99*float64(len(pooled)))) - 1
+	want := pooled[idx]
+
+	c := NewClient(servers[0].Addr())
+	out, err := c.QueryAll("p99 loadavg last 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nodes 3 ok 3 failed 0") || !strings.Contains(out, "partial false") {
+		t.Fatalf("fan-out not clean:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("samples %d", len(pooled))) {
+		t.Fatalf("sample count != pooled %d (per node %v):\n%s", len(pooled), perNode, out)
+	}
+	got := resultValue(t, out)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Fatalf("cluster p99 = %g, pooled p99 = %g (relative error %.3f)", got, want, rel)
+	}
+
+	// The same query through the coordinator's cluster/query control file
+	// (the pseudo-filesystem face of the tentpole) gives the same answer.
+	fsOut, err := c.Query(cluster.Nodes[0].Name(), "")
+	_ = fsOut
+	if err == nil {
+		t.Fatal("empty per-node query accepted") // guard the sugar path still validates
+	}
+	if err := cluster.Nodes[0].FS().WriteFile("cluster/query", "p99 loadavg last 30s"); err != nil {
+		t.Fatal(err)
+	}
+	fileOut, err := cluster.Nodes[0].FS().ReadFile("cluster/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := resultValue(t, fileOut); math.Abs(v-got) > 1e-9 {
+		t.Fatalf("control file p99 %g != verb p99 %g", v, got)
+	}
+}
+
+// Arithmetic path over the wire: cluster avg equals the pooled mean.
+func TestQueryAllAverageMatchesPooledMean(t *testing.T) {
+	cluster, vclk, servers := queryCluster(t, 3, 10, nil)
+	now := vclk.Now()
+	to := now.UnixNano() + 1
+	from := to - (30 * time.Second).Nanoseconds()
+
+	sum, count := 0.0, 0
+	for _, node := range cluster.Nodes {
+		node.DMon().Store().TSDB().Scan(dmon.SeriesKey(node.Name(), "freemem"), from, to, func(p tsdb.Point) {
+			sum += p.V
+			count++
+		})
+	}
+	if count == 0 {
+		t.Fatal("fixture produced no samples")
+	}
+	out, err := NewClient(servers[1].Addr()).QueryAll("avg freemem last 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultValue(t, out)
+	want := sum / float64(count)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("cluster avg = %g, pooled mean = %g", got, want)
+	}
+}
+
+// The partial-failure acceptance guard: with every admin conversation routed
+// through a faultnet fabric, killing a node mid-query yields an annotated
+// partial result within the per-node timeout — never a hang, never an
+// all-or-nothing error — and reviving it heals the next query. Stalls and
+// partitions take the same path.
+func TestQueryAllPartialUnderFaults(t *testing.T) {
+	fabric := faultnet.NewFabric(1)
+	cluster, _, servers := queryCluster(t, 3, 10, func(name string) ServerOptions {
+		return ServerOptions{
+			QueryTimeout: 300 * time.Millisecond,
+			Transport:    fabric.Host(name),
+		}
+	})
+	_ = cluster
+	c := NewClient(servers[0].Addr())
+
+	assertPartial := func(stage string, wantFailed string) {
+		t.Helper()
+		start := time.Now()
+		out, err := c.QueryAll("p99 loadavg last 30s")
+		if err != nil {
+			t.Fatalf("%s: queryall errored instead of degrading: %v", stage, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%s: fan-out took %v with a 300ms per-node timeout", stage, elapsed)
+		}
+		if !strings.Contains(out, "partial true") || !strings.Contains(out, "nodes 3 ok 2 failed 1") {
+			t.Fatalf("%s: want an annotated 2/3 partial, got:\n%s", stage, out)
+		}
+		if !strings.Contains(out, "node "+wantFailed+" error") {
+			t.Fatalf("%s: failed node %s not annotated:\n%s", stage, wantFailed, out)
+		}
+		resultValue(t, out) // the survivors still merge to a value
+	}
+
+	before := runtime.NumGoroutine()
+
+	fabric.Crash("node2")
+	assertPartial("crash", "node2")
+	fabric.Allow("node2")
+
+	fabric.StallWrites("node1", true)
+	assertPartial("stall", "node1")
+	fabric.StallWrites("node1", false)
+
+	fabric.SetGroup("node0", "a")
+	fabric.SetGroup("node1", "a")
+	fabric.SetGroup("node2", "b")
+	fabric.Partition("a", "b")
+	assertPartial("partition", "node2")
+	fabric.Heal()
+
+	// Healed cluster answers in full again.
+	out, err := c.QueryAll("p99 loadavg last 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nodes 3 ok 3 failed 0") || !strings.Contains(out, "partial false") {
+		t.Fatalf("cluster did not heal:\n%s", out)
+	}
+
+	// No fan-out goroutines left behind by the failed fetches.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked under faults: %d before, %d after", before, n)
+	}
+}
+
+// querypart refuses relative windows: window normalization is the
+// coordinator's job, and a leaf re-anchoring "last 5m" on its own clock
+// would answer a different question than its peers.
+func TestQueryPartRejectsRelativeWindows(t *testing.T) {
+	_, _, servers := queryCluster(t, 1, 3, nil)
+	c := NewClient(servers[0].Addr())
+	if _, err := c.roundTrip("querypart p99 loadavg last 30s\n", nil); err == nil ||
+		!strings.Contains(err.Error(), "absolute window") {
+		t.Fatalf("relative querypart: err = %v", err)
+	}
+	q := tsdb.Query{Agg: tsdb.AggP99, Metric: "loadavg", From: 1, To: clock.Epoch.Add(time.Hour).UnixNano()}
+	part, err := c.QueryPart(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Count == 0 || part.Buckets == nil {
+		t.Fatalf("absolute querypart returned no data: %+v", part)
+	}
+}
+
+// The server used to arm one deadline for the whole connection, so a
+// request or response spread over longer than the timeout died even though
+// the peer was alive. Now each phase gets a fresh deadline: a request
+// dribbling in slower than the timeout in total — but with every gap under
+// it — must succeed.
+func TestServerToleratesSlowDribbleRequest(t *testing.T) {
+	_, _, servers := queryCluster(t, 1, 2, func(string) ServerOptions {
+		return ServerOptions{Timeout: 250 * time.Millisecond}
+	})
+	conn, err := net.Dial("tcp", servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Total transmission time 400ms > the 250ms timeout; each gap 100ms.
+	for _, chunk := range []string{"sta", "tu", "s", "\n"} {
+		if _, err := conn.Write([]byte(chunk)); err != nil {
+			t.Fatalf("mid-dribble write: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil || !strings.HasPrefix(string(buf[:n]), "OK") {
+		t.Fatalf("dribbled status request: read %q, err %v", buf[:n], err)
+	}
+
+	// A genuinely stalled request still dies at the phase timeout.
+	conn2, err := net.Dial("tcp", servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("stat")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn2.Read(buf); err == nil {
+		t.Fatal("server answered a stalled half-request")
+	}
+}
+
+// The client-side mirror: a response dribbling in slower than the client
+// timeout in total succeeds as long as no single gap exceeds it, while an
+// absolute deadline (the scatter-gather per-node budget) still cuts the
+// whole exchange off.
+func TestClientToleratesSlowDribbleResponse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 256)
+				_, _ = conn.Read(buf)
+				for _, chunk := range []string{"OK\n", "dribble ", "dribble ", "done\n"} {
+					if _, err := conn.Write([]byte(chunk)); err != nil {
+						return
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+			}(conn)
+		}
+	}()
+
+	c := NewClient(ln.Addr().String())
+	c.SetTimeout(250 * time.Millisecond) // total response time 400ms
+	out, err := c.Status()
+	if err != nil {
+		t.Fatalf("dribbled response: %v", err)
+	}
+	if !strings.Contains(out, "done") {
+		t.Fatalf("partial response %q", out)
+	}
+
+	// An absolute deadline caps the sum of phases regardless.
+	c2 := NewClient(ln.Addr().String())
+	c2.SetTimeout(250 * time.Millisecond)
+	c2.SetDeadline(time.Now().Add(150 * time.Millisecond))
+	start := time.Now()
+	if _, err := c2.Status(); err == nil {
+		t.Fatal("absolute deadline did not cut the dribble off")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-capped request took %v", elapsed)
+	}
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"dproc/internal/dmon"
 	"dproc/internal/kecho"
@@ -30,6 +31,9 @@ func Defaults() Config {
 		FsyncEvery:       1,
 		Channel:          kecho.DefaultOptions(),
 		TraceSample:      DefaultTraceSample,
+		AdminTimeout:     30 * time.Second,
+		QueryTimeout:     2 * time.Second,
+		QueryFanout:      16,
 	}
 }
 
@@ -55,6 +59,12 @@ func (cfg *Config) Validate() error {
 	if cfg.Channel.MaxBatch < 0 {
 		return fmt.Errorf("core: negative channel max batch %d", cfg.Channel.MaxBatch)
 	}
+	if cfg.AdminTimeout < 0 || cfg.QueryTimeout < 0 {
+		return fmt.Errorf("core: negative admin/query timeout")
+	}
+	if cfg.QueryFanout < 0 {
+		return fmt.Errorf("core: negative query fanout %d", cfg.QueryFanout)
+	}
 	return nil
 }
 
@@ -78,4 +88,7 @@ func BindFlags(fs *flag.FlagSet, cfg *Config) {
 	fs.DurationVar(&cfg.Channel.ReconnectInterval, "reconnect", cfg.Channel.ReconnectInterval, "base interval of the mesh reconnect supervisor")
 	fs.BoolVar(&cfg.Channel.DisableReconnect, "no-heal", cfg.Channel.DisableReconnect, "disable the reconnect supervisor and registry heartbeats")
 	fs.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "trace one monitoring event in N (rounded up to a power of two; <=0 disables tracing)")
+	fs.DurationVar(&cfg.AdminTimeout, "admin-timeout", cfg.AdminTimeout, "admin-protocol per-phase deadline on the node's admin server")
+	fs.DurationVar(&cfg.QueryTimeout, "query-timeout", cfg.QueryTimeout, "per-node budget of a cluster queryall fan-out")
+	fs.IntVar(&cfg.QueryFanout, "query-fanout", cfg.QueryFanout, "concurrent per-node fetches of one cluster query")
 }

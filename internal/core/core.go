@@ -73,6 +73,18 @@ type Config struct {
 	// latency tracing (rounded up to a power of two). Zero or negative
 	// disables tracing; the latency histograms stay on regardless.
 	TraceSample int
+	// AdminTimeout bounds each admin-protocol request/response phase on the
+	// node's admin server (adminproto.DefaultTimeout when zero). Per phase,
+	// not per connection: slow multi-second responses survive, stalls do not.
+	AdminTimeout time.Duration
+	// QueryTimeout is the per-node budget of a cluster scatter-gather
+	// (queryall) fan-out; a node that fails to answer within it is reported
+	// as failed in an annotated partial result (query.DefaultTimeout when
+	// zero).
+	QueryTimeout time.Duration
+	// QueryFanout bounds concurrent per-node fetches of one cluster query
+	// (query.DefaultConcurrency when zero).
+	QueryFanout int
 }
 
 // Node is one dproc participant.
@@ -171,6 +183,17 @@ func NewNode(cfg Config) (*Node, error) {
 
 // Name returns the node name.
 func (n *Node) Name() string { return n.name }
+
+// Clock returns the node's clock (virtual in simulations). Cluster-wide
+// queries anchor "last <dur>" windows on it so every node answers the same
+// absolute window.
+func (n *Node) Clock() clock.Clock { return n.clk }
+
+// Registry exposes the node's registry client (nil when standalone). The
+// admin server uses it to advertise its endpoint on the admin channel and
+// to enumerate scatter-gather targets; the client serializes its single
+// connection internally, so sharing it with the kecho channels is safe.
+func (n *Node) Registry() *registry.Client { return n.regCli }
 
 // DMon exposes the node's distributed monitor.
 func (n *Node) DMon() *dmon.DMon { return n.d }
@@ -337,6 +360,28 @@ func (n *Node) trackRemote(nodeName string) {
 		return n.d.SendControl(nodeName, data)
 	})
 }
+
+// SetClusterQuerier installs the cluster-wide scatter-gather behind the
+// cluster/query pseudo-file: writing "<agg> <metric> <window>" fans the
+// query out to every registered node and stores the merged, per-node
+// annotated result for the next read. The function is supplied by the
+// admin server (adminproto) rather than built here because the fan-out
+// rides the admin protocol, which sits above core in the import order.
+func (n *Node) SetClusterQuerier(run func(query string) (string, error)) {
+	qf := &queryFile{last: clusterQueryUsage}
+	_ = n.fs.Create("cluster/query", qf.read, func(data string) error {
+		out, err := run(strings.TrimSpace(data))
+		if err != nil {
+			return err
+		}
+		qf.set(out)
+		return nil
+	})
+}
+
+// clusterQueryUsage is served by cluster/query before its first write.
+const clusterQueryUsage = "write a cluster query first: <agg> <metric> (from <t> to <t> | last <dur>) [@<res>]\n" +
+	"agg: min max avg sum count rate p50 p95 p99; merged across every registered node\n"
 
 // queryUsage is served by a query pseudo-file before its first write.
 const queryUsage = "write a query first: <agg> <metric> [from <t> to <t> | last <dur>] [@<res>]\n" +

@@ -618,6 +618,11 @@ func (d *DMon) PollOnce() (*metrics.Report, int, error) {
 		return nil, 0, nil
 	}
 	report := d.BuildReport(now, send)
+	// The node's own report lands in its own store before submission: the
+	// channels deliver only to peers, and cluster-wide history queries need
+	// every node to answer for its own series — self history cannot live
+	// exclusively in other nodes' stores.
+	d.store.Update(report)
 	d.mu.Lock()
 	mon := d.monCh
 	d.mu.Unlock()

@@ -138,6 +138,11 @@ func (s *Store) Close() error { return s.db.Close() }
 // contain '/', so the node prefix is unambiguous for DropPrefix.
 func seriesKey(node string, id metrics.ID) string { return node + "/" + id.String() }
 
+// SeriesKey is seriesKey for callers addressing the tsdb by metric name
+// rather than metrics.ID — the distributed-query leaf answers for its own
+// node's series without round-tripping through ParseID.
+func SeriesKey(node, metric string) string { return node + "/" + metric }
+
 // Options returns the store's effective history options.
 func (s *Store) Options() StoreOptions { return s.opts }
 

@@ -79,6 +79,16 @@ func (c *Conn) Close() error {
 	return c.Conn.Close()
 }
 
+// CloseWrite half-closes the write side when the wrapped connection
+// supports it (TCP does), preserving EOF-framed request bodies — the admin
+// protocol's write verb — across the fabric.
+func (c *Conn) CloseWrite() error {
+	if cw, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
 func (c *Conn) isKilled() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

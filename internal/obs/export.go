@@ -5,17 +5,28 @@
 package obs
 
 import (
+	"io"
 	"net"
 	"net/http"
 
 	"dproc/internal/metrics"
 )
 
-// MetricsHandler serves reg in the Prometheus text exposition format.
-func MetricsHandler(reg *metrics.Registry) http.Handler {
+// Appender writes extra Prometheus exposition-format series after the
+// registry dump — how the cluster-wide scatter-gather aggregates
+// (dproc_cluster_*) ride the same /metrics scrape as the node-local
+// counters, so one Grafana data source sees both.
+type Appender func(w io.Writer)
+
+// MetricsHandler serves reg in the Prometheus text exposition format,
+// followed by any extra appenders.
+func MetricsHandler(reg *metrics.Registry, extra ...Appender) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.RenderProm(w)
+		for _, a := range extra {
+			a(w)
+		}
 	})
 }
 
@@ -24,7 +35,7 @@ func MetricsHandler(reg *metrics.Registry) http.Handler {
 // disables the endpoint and returns ("", nil). The server uses its own mux
 // and listener so it composes with -pprof rather than fighting over
 // http.DefaultServeMux.
-func ServeMetrics(addr string, reg *metrics.Registry) (string, error) {
+func ServeMetrics(addr string, reg *metrics.Registry, extra ...Appender) (string, error) {
 	if addr == "" {
 		return "", nil
 	}
@@ -33,7 +44,7 @@ func ServeMetrics(addr string, reg *metrics.Registry) (string, error) {
 		return "", err
 	}
 	mux := http.NewServeMux()
-	h := MetricsHandler(reg)
+	h := MetricsHandler(reg, extra...)
 	mux.Handle("/metrics", h)
 	mux.Handle("/", h)
 	srv := &http.Server{Handler: mux}

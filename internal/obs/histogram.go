@@ -46,6 +46,27 @@ func bucketHigh(i int) int64 {
 	return (m+1)<<uint(shift) - 1
 }
 
+// NumBuckets is the fixed bucket count shared by every Histogram and
+// Snapshot. Exported so external encodings (the admin protocol's sparse
+// bucket lists) can bounds-check indices against the layout.
+const NumBuckets = nBuckets
+
+// BucketOf returns the bucket index a value lands in, clamping negatives
+// to zero exactly as Record does. It is the leaf half of the distributed
+// percentile merge: every node buckets its raw samples with this mapping,
+// and the identical fixed layout is what makes the sparse bucket counts
+// mergeable by element-wise addition.
+func BucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bucketIndex(v)
+}
+
+// BucketUpper returns the largest value mapping to bucket i — the value
+// quantile estimates report.
+func BucketUpper(i int) int64 { return bucketHigh(i) }
+
 // Histogram is a lock-free log-bucketed distribution. The zero value is
 // ready to use; all methods are safe for concurrent use. Negative values
 // are clamped to zero (durations can go slightly negative under clock

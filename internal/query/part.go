@@ -1,0 +1,220 @@
+// Package query is the cluster-wide scatter-gather layer over per-node
+// tsdb history: one coordinator normalizes a windowed query, fans it out to
+// every registered node concurrently, and merges the per-node parts —
+// min/max/sum/count/rate arithmetically, percentiles by merging obs
+// histogram snapshots (never by averaging per-node percentiles, which is
+// wrong for any skewed distribution). Dead or straggling nodes yield an
+// annotated partial result under a per-node timeout, not a hang.
+//
+// The package deliberately knows nothing about the admin protocol: a Fetch
+// function abstracts "ask one node for its part", so the engine and merge
+// rules are testable in-process and adminproto supplies the network-backed
+// Fetch without an import cycle (adminproto → core → everything).
+// See DESIGN.md §12 for the semantics.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dproc/internal/obs"
+	"dproc/internal/tsdb"
+)
+
+// ValueScale converts float metric values to the integer domain of the obs
+// histograms: values are bucketed as round(v·ValueScale), and quantiles
+// unscale on the way out. 1e6 keeps six fractional digits — far below the
+// histogram's own ~3.1% relative bucket error for any value ≥ 1e-3 — while
+// leaving headroom to ~9.2e12 before int64 saturation clamps (byte counts
+// and bit rates stay well under that).
+const ValueScale = 1e6
+
+// maxScaled caps scaled values below int64 overflow.
+const maxScaled = int64(1) << 62
+
+// scaleValue maps a raw sample value into histogram domain. Negatives clamp
+// to zero (the histograms cannot represent them; dproc metrics are
+// non-negative by construction).
+func scaleValue(v float64) int64 {
+	s := math.Round(v * ValueScale)
+	if !(s > 0) { // also catches NaN
+		return 0
+	}
+	if s >= float64(maxScaled) {
+		return maxScaled
+	}
+	return int64(s)
+}
+
+// UnscaleValue maps a histogram-domain value (e.g. a merged quantile) back
+// to the metric's unit.
+func UnscaleValue(v int64) float64 { return float64(v) / ValueScale }
+
+// Part is one node's share of a cluster query over the normalized window
+// [From, To). Arithmetic aggregations carry (Value, Count); percentile
+// queries carry sparse obs-histogram bucket counts instead, because
+// per-node percentiles do not merge — bucket counts do. A node with no
+// data in the window reports Count == 0: an empty contribution, not an
+// error.
+type Part struct {
+	From, To int64
+	Count    int64
+	Value    float64
+	Buckets  map[int]uint64 // bucket index → count; nil for arithmetic parts
+}
+
+// Normalize resolves q into the absolute form every leaf must answer
+// identically: "last <dur>" windows anchor at the coordinator's now (not
+// each node's newest sample, which would make nodes answer different
+// windows), and tier windows are pre-widened to whole buckets so the
+// leaves' own widening (idempotent, DESIGN.md §7) changes nothing. Cluster
+// queries must name a window — "full retained range" differs per node.
+func Normalize(q tsdb.Query, now time.Time) (tsdb.Query, error) {
+	if _, isQuantile := q.Agg.Quantile(); isQuantile && q.Res > 0 {
+		return q, fmt.Errorf("query: percentiles require raw resolution")
+	}
+	switch {
+	case q.Last > 0:
+		q.To = now.UnixNano() + 1
+		q.From = q.To - q.Last.Nanoseconds()
+		q.Last = 0
+	case q.From == 0 && q.To == 0:
+		return q, fmt.Errorf("query: cluster queries need an explicit window (from <t> to <t> or last <dur>)")
+	}
+	if q.From >= q.To {
+		return q, fmt.Errorf("query: empty window [%d, %d)", q.From, q.To)
+	}
+	if q.Res > 0 {
+		q.From, q.To = tsdb.WidenWindow(q.From, q.To, q.Res)
+	}
+	return q, nil
+}
+
+// ComputePart answers one node's share of a normalized query from its local
+// store, with the given tsdb series name. Arithmetic aggregations reuse the
+// summary-folding tsdb query; percentiles scan the raw window once, folding
+// every sample into the fixed obs bucket layout. "No data" (unknown series,
+// empty window, too few samples for a rate) is an empty part, not an error.
+func ComputePart(db *tsdb.DB, series string, q tsdb.Query) (Part, error) {
+	p := Part{From: q.From, To: q.To}
+	if _, isQuantile := q.Agg.Quantile(); isQuantile {
+		var buckets map[int]uint64
+		db.Scan(series, q.From, q.To, func(pt tsdb.Point) {
+			if buckets == nil {
+				buckets = make(map[int]uint64)
+			}
+			p.Count++
+			buckets[obs.BucketOf(scaleValue(pt.V))]++
+		})
+		p.Buckets = buckets
+		return p, nil
+	}
+	r, err := db.Query(series, q)
+	if err != nil {
+		if errors.Is(err, tsdb.ErrNoData) {
+			return p, nil
+		}
+		return p, err
+	}
+	p.Count, p.Value = r.Count, r.Value
+	return p, nil
+}
+
+// Snapshot expands the sparse bucket counts into a mergeable obs snapshot.
+// Out-of-range indices (a hostile or version-skewed peer) are dropped
+// rather than panicking the coordinator.
+func (p Part) Snapshot() obs.Snapshot {
+	var s obs.Snapshot
+	for i, c := range p.Buckets {
+		if i >= 0 && i < obs.NumBuckets {
+			s.Buckets[i] += c
+			s.Count += c
+		}
+	}
+	return s
+}
+
+// Render formats the part as line-oriented "key value" wire text:
+//
+//	from <ns>
+//	to <ns>
+//	count <n>
+//	value <g>                  (arithmetic parts)
+//	buckets <i>:<c> <i>:<c> …  (percentile parts with data)
+func (p Part) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "from %dns\nto %dns\ncount %d\n", p.From, p.To, p.Count)
+	if p.Buckets == nil {
+		fmt.Fprintf(&sb, "value %s\n", strconv.FormatFloat(p.Value, 'g', -1, 64))
+		return sb.String()
+	}
+	sb.WriteString("buckets")
+	idx := make([]int, 0, len(p.Buckets))
+	for i := range p.Buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		fmt.Fprintf(&sb, " %d:%d", i, p.Buckets[i])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// ParsePart parses Render's wire form.
+func ParsePart(text string) (Part, error) {
+	var p Part
+	sawFrom, sawTo := false, false
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		var err error
+		switch key {
+		case "from":
+			p.From, err = parseNanos(rest)
+			sawFrom = true
+		case "to":
+			p.To, err = parseNanos(rest)
+			sawTo = true
+		case "count":
+			p.Count, err = strconv.ParseInt(rest, 10, 64)
+		case "value":
+			p.Value, err = strconv.ParseFloat(rest, 64)
+		case "buckets":
+			p.Buckets = make(map[int]uint64)
+			for _, pair := range strings.Fields(rest) {
+				is, cs, ok := strings.Cut(pair, ":")
+				if !ok {
+					return p, fmt.Errorf("query: bad bucket pair %q", pair)
+				}
+				i, err1 := strconv.Atoi(is)
+				c, err2 := strconv.ParseUint(cs, 10, 64)
+				if err1 != nil || err2 != nil {
+					return p, fmt.Errorf("query: bad bucket pair %q", pair)
+				}
+				p.Buckets[i] = c
+			}
+		default:
+			// Unknown keys are ignored for forward compatibility.
+		}
+		if err != nil {
+			return p, fmt.Errorf("query: bad part line %q: %v", line, err)
+		}
+	}
+	if !sawFrom || !sawTo {
+		return p, fmt.Errorf("query: part missing window")
+	}
+	return p, nil
+}
+
+func parseNanos(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSuffix(s, "ns"), 10, 64)
+}

@@ -1,0 +1,236 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dproc/internal/obs"
+	"dproc/internal/tsdb"
+)
+
+// Target names one node to fan a query out to.
+type Target struct {
+	Node string // cluster node name
+	Addr string // admin endpoint
+}
+
+// Fetch asks one node for its part of a normalized query. Implementations
+// must honor ctx (its deadline is the per-node timeout): a fetch that
+// ignores cancellation turns a dead node back into a coordinator hang.
+type Fetch func(ctx context.Context, t Target, q tsdb.Query) (Part, error)
+
+// Fan-out defaults.
+const (
+	DefaultTimeout     = 2 * time.Second
+	DefaultConcurrency = 16
+)
+
+// Options tunes one scatter-gather run.
+type Options struct {
+	// Timeout bounds each per-node fetch (DefaultTimeout when 0). The whole
+	// fan-out completes within roughly ceil(targets/Concurrency)·Timeout
+	// even if every node is dead.
+	Timeout time.Duration
+	// Concurrency bounds in-flight fetches (DefaultConcurrency when 0), so
+	// querying a large cluster does not open every admin connection at once.
+	Concurrency int
+}
+
+// NodeStatus is one node's line in the result: its contribution size, how
+// long its fetch took, and the error for failed nodes.
+type NodeStatus struct {
+	Node    string
+	Addr    string
+	Err     string // "" = ok
+	Count   int64
+	Elapsed time.Duration
+}
+
+// OK reports whether the node answered.
+func (ns NodeStatus) OK() bool { return ns.Err == "" }
+
+// Result is a merged cluster-wide aggregate with per-node provenance.
+type Result struct {
+	// Query is the normalized query every node answered (absolute window,
+	// tier windows pre-widened).
+	Query tsdb.Query
+	// Value is the merged aggregate; valid only when HasValue (at least one
+	// node contributed samples).
+	Value    float64
+	HasValue bool
+	// Count totals the samples aggregated across contributing nodes.
+	Count int64
+	// OK/Failed count nodes; Partial marks results merged from fewer nodes
+	// than were asked.
+	OK, Failed int
+	Partial    bool
+	// Nodes has one entry per target, in target order.
+	Nodes []NodeStatus
+	// Hist is the merged histogram for percentile queries (nil otherwise);
+	// callers can read additional quantiles from it without re-querying.
+	Hist *obs.Snapshot
+	// Elapsed is the wall time of the whole fan-out.
+	Elapsed time.Duration
+}
+
+// Run normalizes q against now, fans it out to every target through fetch
+// (bounded concurrency, per-node timeout) and merges the parts. It returns
+// an error only for an unusable query or empty target list; node failures
+// are annotated in the Result instead, marking it Partial.
+func Run(ctx context.Context, targets []Target, q tsdb.Query, now time.Time, fetch Fetch, opts Options) (Result, error) {
+	nq, err := Normalize(q, now)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(targets) == 0 {
+		return Result{}, fmt.Errorf("query: no targets")
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = DefaultConcurrency
+	}
+
+	start := time.Now()
+	parts := make([]Part, len(targets))
+	errs := make([]error, len(targets))
+	elapsed := make([]time.Duration, len(targets))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			fctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			fstart := time.Now()
+			parts[i], errs[i] = fetch(fctx, t, nq)
+			elapsed[i] = time.Since(fstart)
+		}(i, t)
+	}
+	wg.Wait()
+
+	res := Result{Query: nq, Nodes: make([]NodeStatus, len(targets)), Elapsed: time.Since(start)}
+	for i, t := range targets {
+		ns := NodeStatus{Node: t.Node, Addr: t.Addr, Elapsed: elapsed[i]}
+		if errs[i] != nil {
+			// Errors render on one line of the result; flatten any newlines.
+			ns.Err = strings.Join(strings.Fields(errs[i].Error()), " ")
+			res.Failed++
+		} else {
+			ns.Count = parts[i].Count
+			res.OK++
+		}
+		res.Nodes[i] = ns
+	}
+	res.Partial = res.Failed > 0
+	res.merge(parts)
+	return res, nil
+}
+
+// merge folds the successful parts into the cluster value. Percentiles
+// merge by histogram-snapshot addition; everything else merges by the
+// aggregation's own arithmetic. Parts with Count == 0 contribute nothing.
+func (r *Result) merge(parts []Part) {
+	if quant, isQuantile := r.Query.Agg.Quantile(); isQuantile {
+		hist := &obs.Snapshot{}
+		for i, p := range parts {
+			if r.Nodes[i].OK() && p.Count > 0 {
+				hist.Merge(p.Snapshot())
+				r.Count += p.Count
+			}
+		}
+		r.Hist = hist
+		if hist.Count > 0 {
+			r.Value = UnscaleValue(hist.Quantile(quant))
+			r.HasValue = true
+		}
+		return
+	}
+
+	var weighted float64 // Σ value·count, for avg
+	for i, p := range parts {
+		if !r.Nodes[i].OK() || p.Count == 0 {
+			continue
+		}
+		switch r.Query.Agg {
+		case tsdb.AggMin:
+			if !r.HasValue || p.Value < r.Value {
+				r.Value = p.Value
+			}
+		case tsdb.AggMax:
+			if !r.HasValue || p.Value > r.Value {
+				r.Value = p.Value
+			}
+		case tsdb.AggSum, tsdb.AggCount, tsdb.AggRate:
+			// Sums and counts add; per-node rates add into the cluster-wide
+			// aggregate rate of change (each node's rate is independent).
+			r.Value += p.Value
+		case tsdb.AggAvg:
+			weighted += p.Value * float64(p.Count)
+		}
+		r.Count += p.Count
+		r.HasValue = true
+	}
+	if r.Query.Agg == tsdb.AggAvg && r.Count > 0 {
+		r.Value = weighted / float64(r.Count)
+	}
+}
+
+// Render formats the merged result as line-oriented control-file text: the
+// aggregate block first (same keys as a single-node tsdb result, plus the
+// node tally and partial flag), then one provenance line per node.
+func (r Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "agg %s\n", r.Query.Agg)
+	if r.HasValue {
+		fmt.Fprintf(&sb, "value %g\n", r.Value)
+	} else {
+		sb.WriteString("value none\n")
+	}
+	res := "raw"
+	if r.Query.Res > 0 {
+		res = r.Query.Res.String()
+	}
+	fmt.Fprintf(&sb, "samples %d\nfrom %.3f\nto %.3f\nresolution %s\n",
+		r.Count, float64(r.Query.From)/1e9, float64(r.Query.To)/1e9, res)
+	fmt.Fprintf(&sb, "nodes %d ok %d failed %d\npartial %t\n",
+		len(r.Nodes), r.OK, r.Failed, r.Partial)
+	for _, ns := range r.Nodes {
+		if ns.OK() {
+			fmt.Fprintf(&sb, "node %s ok samples=%d in=%s\n",
+				ns.Node, ns.Count, ns.Elapsed.Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(&sb, "node %s error %s\n", ns.Node, ns.Err)
+		}
+	}
+	return sb.String()
+}
+
+// SortTargets orders targets by node name for deterministic fan-out and
+// result listings, deduplicating on name (registries can briefly hold a
+// node twice across a rejoin).
+func SortTargets(targets []Target) []Target {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Node < targets[j].Node })
+	out := targets[:0]
+	for i, t := range targets {
+		if i == 0 || t.Node != targets[i-1].Node {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dproc/internal/tsdb"
+)
+
+// quantileTolerance bounds the allowed relative error of a merged cluster
+// percentile against the exact pooled-population quantile: the obs buckets
+// carry ~3.1% relative error, plus a little slack for rank rounding.
+const quantileTolerance = 0.05
+
+func TestPartWireRoundTrip(t *testing.T) {
+	parts := []Part{
+		{From: 100, To: 200, Count: 7, Value: 3.25},
+		{From: 1056326400123456789, To: 1056326400123456790, Count: 0, Value: 0},
+		{From: 5, To: 9, Count: 4, Buckets: map[int]uint64{0: 1, 17: 2, 1500: 1}},
+	}
+	for _, p := range parts {
+		got, err := ParsePart(p.Render())
+		if err != nil {
+			t.Fatalf("ParsePart(%q): %v", p.Render(), err)
+		}
+		if got.From != p.From || got.To != p.To || got.Count != p.Count || got.Value != p.Value {
+			t.Fatalf("round trip %+v → %+v", p, got)
+		}
+		if len(got.Buckets) != len(p.Buckets) {
+			t.Fatalf("buckets %v → %v", p.Buckets, got.Buckets)
+		}
+		for i, c := range p.Buckets {
+			if got.Buckets[i] != c {
+				t.Fatalf("bucket %d: %d → %d", i, c, got.Buckets[i])
+			}
+		}
+	}
+	// Unknown keys are tolerated; a missing window is not.
+	if _, err := ParsePart("from 1ns\nto 2ns\ncount 0\nfuture stuff\n"); err != nil {
+		t.Fatalf("unknown key rejected: %v", err)
+	}
+	if _, err := ParsePart("count 3\nvalue 1\n"); err == nil {
+		t.Fatal("part without a window accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	now := time.Unix(1056326400, 500)
+
+	q, err := Normalize(tsdb.Query{Agg: tsdb.AggAvg, Metric: "m", Last: time.Minute}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Last != 0 || q.To != now.UnixNano()+1 || q.From != q.To-time.Minute.Nanoseconds() {
+		t.Fatalf("normalized = %+v", q)
+	}
+	// Normalizing an already-normalized query is a no-op, so coordinator and
+	// leaves agree on the window bit-for-bit.
+	q2, err := Normalize(q, now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q {
+		t.Fatalf("re-normalize changed the query: %+v → %+v", q, q2)
+	}
+
+	// Tier windows come back pre-widened to whole buckets.
+	qt, err := Normalize(tsdb.Query{Agg: tsdb.AggAvg, Metric: "m", From: 5e9, To: 15e9, Res: 10 * time.Second}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, wt := tsdb.WidenWindow(5e9, 15e9, 10*time.Second)
+	if qt.From != wf || qt.To != wt {
+		t.Fatalf("tier window = [%d, %d), want [%d, %d)", qt.From, qt.To, wf, wt)
+	}
+
+	if _, err := Normalize(tsdb.Query{Agg: tsdb.AggAvg, Metric: "m"}, now); err == nil {
+		t.Fatal("windowless query accepted")
+	}
+	if _, err := Normalize(tsdb.Query{Agg: tsdb.AggP99, Metric: "m", Last: time.Minute, Res: time.Second}, now); err == nil {
+		t.Fatal("percentile at tier resolution accepted")
+	}
+}
+
+// clusterFixture builds n per-node stores with the given per-node sample
+// populations and returns targets plus an in-process Fetch that computes
+// parts locally — the merge rules under test, minus the network.
+func clusterFixture(t *testing.T, pops [][]float64) ([]Target, Fetch, map[string]*tsdb.DB) {
+	t.Helper()
+	dbs := make(map[string]*tsdb.DB, len(pops))
+	targets := make([]Target, len(pops))
+	for i, pop := range pops {
+		name := fmt.Sprintf("node%d", i)
+		db := tsdb.NewDB(tsdb.Options{})
+		for j, v := range pop {
+			db.Append(name+"/m", int64(j+1)*1e6, v)
+		}
+		dbs[name] = db
+		targets[i] = Target{Node: name, Addr: name + ":0"}
+	}
+	fetch := func(_ context.Context, tg Target, q tsdb.Query) (Part, error) {
+		return ComputePart(dbs[tg.Node], tg.Node+"/m", q)
+	}
+	return targets, fetch, dbs
+}
+
+// window covers every sample the fixture appends.
+var fixtureQueryWindow = struct{ From, To int64 }{1, int64(1e12)}
+
+func runFixture(t *testing.T, targets []Target, fetch Fetch, agg tsdb.Agg) Result {
+	t.Helper()
+	res, err := Run(context.Background(), targets,
+		tsdb.Query{Agg: agg, Metric: "m", From: fixtureQueryWindow.From, To: fixtureQueryWindow.To},
+		time.Unix(0, 0), fetch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func pooledQuantile(pop []float64, q float64) float64 {
+	s := append([]float64(nil), pop...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// The tentpole correctness guard: cluster percentiles merged from per-node
+// histogram parts must equal the quantile of the pooled population (within
+// bucket error) even when per-node distributions are wildly skewed — the
+// regime where averaging per-node percentiles is badly wrong.
+func TestMergedPercentilesMatchPooledPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Three deliberately different shapes: a tight low cluster, a wide
+	// uniform spread, and a heavy tail two decades above the rest.
+	pops := [][]float64{make([]float64, 400), make([]float64, 300), make([]float64, 50)}
+	for i := range pops[0] {
+		pops[0][i] = 1 + 0.1*rng.Float64()
+	}
+	for i := range pops[1] {
+		pops[1][i] = 5 + 10*rng.Float64()
+	}
+	for i := range pops[2] {
+		pops[2][i] = 400 + 200*rng.Float64()
+	}
+	var pooled []float64
+	for _, p := range pops {
+		pooled = append(pooled, p...)
+	}
+
+	targets, fetch, _ := clusterFixture(t, pops)
+	for _, c := range []struct {
+		agg tsdb.Agg
+		q   float64
+	}{{tsdb.AggP50, 0.50}, {tsdb.AggP95, 0.95}, {tsdb.AggP99, 0.99}} {
+		res := runFixture(t, targets, fetch, c.agg)
+		if res.Partial || res.Failed != 0 || res.Count != int64(len(pooled)) {
+			t.Fatalf("%v: unexpected fan-out state %+v", c.agg, res)
+		}
+		want := pooledQuantile(pooled, c.q)
+		if rel := math.Abs(res.Value-want) / want; rel > quantileTolerance {
+			t.Fatalf("%v = %g, pooled %g (relative error %.3f)", c.agg, res.Value, want, rel)
+		}
+		// The merged histogram serves other quantiles without re-querying.
+		if res.Hist == nil || res.Hist.Count != uint64(len(pooled)) {
+			t.Fatalf("%v: merged histogram missing or short: %+v", c.agg, res.Hist)
+		}
+	}
+
+	// Demonstrate the bug the histogram merge exists to avoid: the mean of
+	// per-node p99s is nowhere near the pooled p99.
+	var avgP99 float64
+	for _, pop := range pops {
+		avgP99 += pooledQuantile(pop, 0.99)
+	}
+	avgP99 /= float64(len(pops))
+	want := pooledQuantile(pooled, 0.99)
+	if rel := math.Abs(avgP99-want) / want; rel < 0.25 {
+		t.Fatalf("fixture too tame: averaged per-node p99 %g is within 25%% of pooled %g", avgP99, want)
+	}
+}
+
+func TestMergedArithmeticAggregates(t *testing.T) {
+	pops := [][]float64{{1, 2, 3}, {10, 20}, {0.5}}
+	targets, fetch, _ := clusterFixture(t, pops)
+
+	var pooled []float64
+	for _, p := range pops {
+		pooled = append(pooled, p...)
+	}
+	sum := 0.0
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range pooled {
+		sum += v
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+
+	for _, c := range []struct {
+		agg  tsdb.Agg
+		want float64
+	}{
+		{tsdb.AggMin, min},
+		{tsdb.AggMax, max},
+		{tsdb.AggSum, sum},
+		{tsdb.AggAvg, sum / float64(len(pooled))},
+		{tsdb.AggCount, float64(len(pooled))},
+	} {
+		res := runFixture(t, targets, fetch, c.agg)
+		if !res.HasValue || math.Abs(res.Value-c.want) > 1e-9 {
+			t.Fatalf("%v = (%g, %t), want %g", c.agg, res.Value, res.HasValue, c.want)
+		}
+		if res.Count != int64(len(pooled)) {
+			t.Fatalf("%v count = %d, want %d", c.agg, res.Count, len(pooled))
+		}
+	}
+}
+
+// A node with no samples in the window is an empty contribution, not a
+// failure — and a cluster with no samples anywhere reports "no value"
+// rather than zero.
+func TestEmptyPartsAreNotFailures(t *testing.T) {
+	targets, fetch, _ := clusterFixture(t, [][]float64{{1, 2, 3}, {}})
+	res := runFixture(t, targets, fetch, tsdb.AggAvg)
+	if res.Partial || res.Failed != 0 || res.OK != 2 {
+		t.Fatalf("empty node counted as failure: %+v", res)
+	}
+	if !res.HasValue || res.Value != 2 || res.Count != 3 {
+		t.Fatalf("avg = (%g, %t) over %d", res.Value, res.HasValue, res.Count)
+	}
+
+	targets, fetch, _ = clusterFixture(t, [][]float64{{}, {}})
+	res = runFixture(t, targets, fetch, tsdb.AggAvg)
+	if res.HasValue || res.Count != 0 || res.Partial {
+		t.Fatalf("all-empty cluster: %+v", res)
+	}
+	if !strings.Contains(res.Render(), "value none") {
+		t.Fatalf("render hides the missing value:\n%s", res.Render())
+	}
+}
+
+func TestFailedNodeYieldsAnnotatedPartial(t *testing.T) {
+	targets, fetch, _ := clusterFixture(t, [][]float64{{1, 2, 3}, {10, 20, 30}})
+	failing := func(ctx context.Context, tg Target, q tsdb.Query) (Part, error) {
+		if tg.Node == "node1" {
+			return Part{}, fmt.Errorf("connection refused")
+		}
+		return fetch(ctx, tg, q)
+	}
+	res, err := Run(context.Background(), targets,
+		tsdb.Query{Agg: tsdb.AggSum, Metric: "m", From: 1, To: 1e12},
+		time.Unix(0, 0), failing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.OK != 1 || res.Failed != 1 {
+		t.Fatalf("partial state: %+v", res)
+	}
+	if res.Value != 6 || res.Count != 3 {
+		t.Fatalf("surviving sum = %g over %d", res.Value, res.Count)
+	}
+	var failedLine string
+	for _, ns := range res.Nodes {
+		if !ns.OK() {
+			failedLine = ns.Node + ": " + ns.Err
+		}
+	}
+	if !strings.Contains(failedLine, "node1") || !strings.Contains(failedLine, "connection refused") {
+		t.Fatalf("failure not annotated: %q", failedLine)
+	}
+	if !strings.Contains(res.Render(), "partial true") {
+		t.Fatalf("render hides partiality:\n%s", res.Render())
+	}
+}
+
+// A straggler that honors its context is cut off at the per-node timeout:
+// the fan-out returns an annotated partial well before the straggler's own
+// schedule, and no goroutine is left behind.
+func TestStragglerBoundedByTimeout(t *testing.T) {
+	targets, fetch, _ := clusterFixture(t, [][]float64{{1}, {2}, {3}})
+	straggling := func(ctx context.Context, tg Target, q tsdb.Query) (Part, error) {
+		if tg.Node == "node2" {
+			<-ctx.Done() // a hung peer, but the client honors cancellation
+			return Part{}, ctx.Err()
+		}
+		return fetch(ctx, tg, q)
+	}
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := Run(context.Background(), targets,
+		tsdb.Query{Agg: tsdb.AggSum, Metric: "m", From: 1, To: 1e12},
+		time.Unix(0, 0), straggling, Options{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fan-out took %v despite a 50ms per-node timeout", elapsed)
+	}
+	if !res.Partial || res.OK != 2 || res.Failed != 1 || res.Value != 3 {
+		t.Fatalf("straggler result: %+v", res)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestFanOutConcurrencyIsBounded(t *testing.T) {
+	const nodes, limit = 12, 3
+	pops := make([][]float64, nodes)
+	for i := range pops {
+		pops[i] = []float64{1}
+	}
+	targets, fetch, _ := clusterFixture(t, pops)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	counting := func(ctx context.Context, tg Target, q tsdb.Query) (Part, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond) // hold the slot so overlap is observable
+		return fetch(ctx, tg, q)
+	}
+	res, err := Run(context.Background(), targets,
+		tsdb.Query{Agg: tsdb.AggCount, Metric: "m", From: 1, To: 1e12},
+		time.Unix(0, 0), counting, Options{Concurrency: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != nodes {
+		t.Fatalf("ok = %d, want %d", res.OK, nodes)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestRunRejectsUnusableInput(t *testing.T) {
+	targets, fetch, _ := clusterFixture(t, [][]float64{{1}})
+	if _, err := Run(context.Background(), nil,
+		tsdb.Query{Agg: tsdb.AggAvg, Metric: "m", Last: time.Minute},
+		time.Unix(0, 0), fetch, Options{}); err == nil {
+		t.Fatal("empty target list accepted")
+	}
+	if _, err := Run(context.Background(), targets,
+		tsdb.Query{Agg: tsdb.AggAvg, Metric: "m"},
+		time.Unix(0, 0), fetch, Options{}); err == nil {
+		t.Fatal("windowless query accepted")
+	}
+}
+
+func TestSortTargetsDedups(t *testing.T) {
+	in := []Target{{Node: "b", Addr: "2"}, {Node: "a", Addr: "1"}, {Node: "b", Addr: "2b"}}
+	out := SortTargets(in)
+	if len(out) != 2 || out[0].Node != "a" || out[1].Node != "b" {
+		t.Fatalf("SortTargets = %+v", out)
+	}
+}
+
+func TestScaleValueEdgeCases(t *testing.T) {
+	if scaleValue(-5) != 0 || scaleValue(math.NaN()) != 0 {
+		t.Fatal("negatives/NaN must clamp to zero")
+	}
+	if scaleValue(1e300) != maxScaled {
+		t.Fatal("huge values must saturate, not overflow")
+	}
+	if got := UnscaleValue(scaleValue(3.5)); math.Abs(got-3.5) > 1e-6 {
+		t.Fatalf("unscale(scale(3.5)) = %g", got)
+	}
+}

@@ -456,8 +456,14 @@ func parseAction(text string) (Action, error) {
 		default:
 			return Action{}, fmt.Errorf("unknown disk fault %q (want enospc or failsync)", a.Arg)
 		}
+	case "queryall":
+		// queryall <agg> <metric> [window] — the query text, verbatim.
+		if len(args) < 2 {
+			return Action{}, fmt.Errorf("queryall wants a query, e.g. \"queryall p99 loadavg last 30s\"")
+		}
+		a.Arg = strings.Join(args, " ")
 	default:
-		return Action{}, fmt.Errorf("unknown verb %q (want kill, revive, stall, unstall, partition, heal, perturb or disk)", a.Verb)
+		return Action{}, fmt.Errorf("unknown verb %q (want kill, revive, stall, unstall, partition, heal, perturb, disk or queryall)", a.Verb)
 	}
 	return a, nil
 }

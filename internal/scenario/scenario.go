@@ -42,10 +42,10 @@ const (
 
 // Filter modes.
 const (
-	FilterNone  = "none"
+	FilterNone   = "none"
 	FilterPeriod = "period"
-	FilterDiff  = "diff"
-	FilterEcode = "ecode"
+	FilterDiff   = "diff"
+	FilterEcode  = "ecode"
 )
 
 // Scenario is one parsed and validated runfile.
@@ -164,7 +164,8 @@ type Action struct {
 	// Value is the numeric argument: partition size (first N nodes split
 	// off), perturbation Mbps, disk byte budget.
 	Value float64
-	// Arg is the disk fault kind ("enospc", "failsync").
+	// Arg is the disk fault kind ("enospc", "failsync") or the queryall
+	// query text ("p99 loadavg last 30s").
 	Arg string
 	// Line is the runfile line the action was parsed from.
 	Line int

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"dproc/internal/adminproto"
 	"dproc/internal/clock"
 	"dproc/internal/core"
 	"dproc/internal/dmon"
@@ -67,6 +68,36 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 	}
 	defer cluster.Close()
 
+	// Schedules with queryall run real scatter-gather fan-outs, so every node
+	// gets an admin server whose transport shares the node's fault identity —
+	// a crashed, stalled or partitioned node fails its part of the query the
+	// same way it drops its channel traffic.
+	hasQueryAll := false
+	for _, a := range s.Schedule {
+		if a.Verb == "queryall" {
+			hasQueryAll = true
+		}
+	}
+	var admins []*adminproto.Server
+	if hasQueryAll {
+		for _, node := range cluster.Nodes {
+			srv, err := adminproto.NewServerWith(node, "127.0.0.1:0", adminproto.ServerOptions{
+				Timeout:      2 * time.Second,
+				QueryTimeout: time.Second,
+				Transport:    fabric.Host(node.Name()),
+			})
+			if err != nil {
+				return PointResult{}, fmt.Errorf("scenario: admin server for %s: %w", node.Name(), err)
+			}
+			admins = append(admins, srv)
+		}
+		defer func() {
+			for _, srv := range admins {
+				_ = srv.Close()
+			}
+		}()
+	}
+
 	start := clk.Now()
 	gens := make([]*workload.EventGen, n)
 	for i, node := range cluster.Nodes {
@@ -87,6 +118,8 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 	churnRng := mrand.New(mrand.NewSource(s.Seed*1_000_003 + int64(n)))
 	downUntil := make([]time.Time, n)
 	var kills, revives, churnLeaves, churnRejoins, partitions, heals, diskFaults uint64
+	var qaRuns, qaPartials, qaNodesOK, qaNodesFailed, qaErrors uint64
+	crashed := make(map[string]bool)
 
 	schedule := sortSchedule(s.Schedule)
 	fired := 0
@@ -147,6 +180,27 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 					d.FailSyncs(true)
 				}
 				diskFaults++
+			case "queryall":
+				// Coordinate from the first node that is still up; the dead
+				// ones show up as failed entries in the merged result.
+				coord := admins[0]
+				for i := 0; i < n; i++ {
+					if !crashed[NodeName(i)] && downUntil[i].IsZero() {
+						coord = admins[i]
+						break
+					}
+				}
+				res, err := coord.QueryAllResult(a.Arg)
+				qaRuns++
+				if err != nil {
+					qaErrors++
+					break
+				}
+				qaNodesOK += uint64(res.OK)
+				qaNodesFailed += uint64(res.Failed)
+				if res.Partial {
+					qaPartials++
+				}
 			}
 		}
 
@@ -228,6 +282,11 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 		{"partitions", partitions},
 		{"heals", heals},
 		{"disk_faults", diskFaults},
+		{"queryall_runs", qaRuns},
+		{"queryall_partials", qaPartials},
+		{"queryall_nodes_ok", qaNodesOK},
+		{"queryall_nodes_failed", qaNodesFailed},
+		{"queryall_errors", qaErrors},
 		{"reconnects", reconnects},
 		{"redials", redials},
 		{"deadline_drops", deadlineDrops},

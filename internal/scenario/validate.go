@@ -6,8 +6,11 @@ import (
 	"strings"
 	"time"
 
+	"dproc/internal/clock"
 	"dproc/internal/dmon"
 	"dproc/internal/ecode"
+	"dproc/internal/query"
+	"dproc/internal/tsdb"
 )
 
 // Limits the validator enforces. The sockets engine runs real goroutines and
@@ -205,6 +208,19 @@ func (s *Scenario) Validate() error {
 		case "perturb":
 			if s.Engine != EngineModel {
 				return afail("perturb shapes the model engine's fluid links; it needs engine = \"model\"")
+			}
+		case "queryall":
+			if s.Engine != EngineSockets {
+				return afail("queryall scatter-gathers over real admin sockets; it needs engine = \"sockets\"")
+			}
+			q, err := tsdb.ParseQuery(a.Arg)
+			if err != nil {
+				return afail("bad queryall query: %v", err)
+			}
+			// Normalize against the virtual epoch the engines start from, so a
+			// query the coordinator would reject fails validation, not the run.
+			if _, err := query.Normalize(q, clock.Epoch.Add(a.At)); err != nil {
+				return afail("bad queryall query: %v", err)
 			}
 		case "disk":
 			if s.Engine != EngineSockets {

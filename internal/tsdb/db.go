@@ -191,6 +191,23 @@ type errNoSeries string
 
 func (e errNoSeries) Error() string { return "tsdb: no series " + string(e) }
 
+// Is classifies an unknown series as ErrNoData: for a windowed cluster
+// query, a node that never recorded the series is an empty contribution,
+// not a failure.
+func (errNoSeries) Is(target error) bool { return target == ErrNoData }
+
+// Scan streams the named series' raw samples with t in [from, to), in
+// order, under the read lock. A missing series scans nothing. This is what
+// the distributed-query leaf uses to fold raw samples into a mergeable
+// histogram without materializing the window.
+func (db *DB) Scan(name string, from, to int64, fn func(Point)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if s, ok := db.series[name]; ok {
+		s.Scan(from, to, fn)
+	}
+}
+
 // Drop removes the named series.
 func (db *DB) Drop(name string) {
 	db.mu.Lock()

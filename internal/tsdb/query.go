@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -48,7 +49,11 @@ func ParseAgg(s string) (Agg, bool) {
 	return 0, false
 }
 
-func (a Agg) quantile() (float64, bool) {
+// Quantile returns the quantile an aggregation targets (0.50 for AggP50,
+// …) and whether the aggregation is a percentile at all — percentiles need
+// raw samples (or mergeable histograms) where every other Agg folds from
+// summaries.
+func (a Agg) Quantile() (float64, bool) {
 	switch a {
 	case AggP50:
 		return 0.50, true
@@ -150,15 +155,61 @@ func ParseQuery(text string) (Query, error) {
 	return q, nil
 }
 
-// parseInstant accepts Unix seconds (fractions allowed) or RFC3339.
+// parseInstant accepts Unix seconds (fractions allowed), exact Unix
+// nanoseconds with an "ns" suffix, or RFC3339. The ns form exists for
+// machine-generated queries: float64 seconds cannot represent a
+// current-epoch nanosecond exactly (~128 ns of rounding), which would break
+// the distributed-query invariant that every node answers the identical
+// window.
 func parseInstant(s string) (int64, error) {
+	if ns, ok := strings.CutSuffix(s, "ns"); ok {
+		if v, err := strconv.ParseInt(ns, 10, 64); err == nil {
+			return v, nil
+		}
+		return 0, fmt.Errorf("tsdb: bad instant %q (want integer nanoseconds before \"ns\")", s)
+	}
 	if secs, err := strconv.ParseFloat(s, 64); err == nil {
 		return int64(secs * 1e9), nil
 	}
 	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
 		return t.UnixNano(), nil
 	}
-	return 0, fmt.Errorf("tsdb: bad instant %q (want unix seconds or RFC3339)", s)
+	return 0, fmt.Errorf("tsdb: bad instant %q (want unix seconds, <int>ns or RFC3339)", s)
+}
+
+// String renders the query back in the grammar ParseQuery accepts, using
+// the exact-nanosecond instant form for absolute windows so a re-parse on
+// another node resolves the identical window. This is the wire form the
+// scatter-gather coordinator sends to every leaf.
+func (q Query) String() string {
+	var sb strings.Builder
+	sb.WriteString(q.Agg.String())
+	sb.WriteByte(' ')
+	sb.WriteString(q.Metric)
+	switch {
+	case q.Last > 0:
+		fmt.Fprintf(&sb, " last %s", q.Last)
+	case q.From != 0 || q.To != 0:
+		fmt.Fprintf(&sb, " from %dns to %dns", q.From, q.To)
+	}
+	if q.Res > 0 {
+		fmt.Fprintf(&sb, " @%s", q.Res)
+	}
+	return sb.String()
+}
+
+// WidenWindow widens [from, to) outward to whole buckets of the given
+// resolution — the tier-query convention of DESIGN.md §7: tier buckets are
+// indivisible, so a bucket straddling either edge counts entirely.
+// Idempotent: widening an already-aligned window returns it unchanged,
+// which is what lets a coordinator pre-widen once and every leaf re-widen
+// harmlessly.
+func WidenWindow(from, to int64, res time.Duration) (int64, int64) {
+	interval := res.Nanoseconds()
+	if interval <= 0 || from >= to {
+		return from, to
+	}
+	return bucketStart(from, interval), bucketStart(to-1, interval) + interval
 }
 
 // Result is the outcome of one windowed aggregate query.
@@ -181,6 +232,20 @@ func (r Result) Render() string {
 		r.Agg, r.Value, r.Count, float64(r.From)/1e9, float64(r.To)/1e9, res)
 }
 
+// ErrNoData classifies query failures that mean "this series simply has
+// nothing to say about the window" — unknown series, empty series, no
+// samples or buckets in range, too few samples for a rate. Scatter-gather
+// callers match it with errors.Is and fold such nodes in as an empty
+// contribution rather than a node failure.
+var ErrNoData = errors.New("tsdb: no data in window")
+
+// noDataError is an error carrying its own message that errors.Is-matches
+// ErrNoData, so the existing human-readable messages stay byte-identical.
+type noDataError string
+
+func (e noDataError) Error() string      { return string(e) }
+func (noDataError) Is(target error) bool { return target == ErrNoData }
+
 // histApproxThreshold is the window size above which percentile queries
 // switch from exact (collect and sort) to a two-pass fixed-bin histogram.
 const histApproxThreshold = 8192
@@ -195,13 +260,13 @@ func (s *Series) Query(q Query) (Result, error) {
 	switch {
 	case q.Last > 0:
 		if s.count == 0 {
-			return Result{}, fmt.Errorf("tsdb: series is empty")
+			return Result{}, noDataError("tsdb: series is empty")
 		}
 		to = s.lastT() + 1
 		from = to - q.Last.Nanoseconds()
 	case from == 0 && to == 0:
 		if s.count == 0 {
-			return Result{}, fmt.Errorf("tsdb: series is empty")
+			return Result{}, noDataError("tsdb: series is empty")
 		}
 		from, to = s.firstT(), s.lastT()+1
 	}
@@ -209,7 +274,7 @@ func (s *Series) Query(q Query) (Result, error) {
 	if q.Res > 0 {
 		return s.queryTier(q, r)
 	}
-	if quant, ok := q.Agg.quantile(); ok {
+	if quant, ok := q.Agg.Quantile(); ok {
 		return s.queryQuantile(quant, r)
 	}
 
@@ -240,7 +305,7 @@ func (s *Series) Query(q Query) (Result, error) {
 	}
 	r.Count = int64(agg.Count)
 	if agg.Count == 0 {
-		return r, fmt.Errorf("tsdb: no samples in window")
+		return r, noDataError("tsdb: no samples in window")
 	}
 	switch q.Agg {
 	case AggMin:
@@ -255,7 +320,7 @@ func (s *Series) Query(q Query) (Result, error) {
 		r.Value = agg.Sum / float64(agg.Count)
 	case AggRate:
 		if agg.Count < 2 || agg.TMax == agg.TMin {
-			return r, fmt.Errorf("tsdb: rate needs at least two samples in window")
+			return r, noDataError("tsdb: rate needs at least two samples in window")
 		}
 		r.Value = (agg.Last - agg.First) / (float64(agg.TMax-agg.TMin) / 1e9)
 	default:
@@ -282,7 +347,7 @@ func (s *Series) queryQuantile(quant float64, r Result) (Result, error) {
 	})
 	r.Count = count
 	if count == 0 {
-		return r, fmt.Errorf("tsdb: no samples in window")
+		return r, noDataError("tsdb: no samples in window")
 	}
 	if count <= histApproxThreshold {
 		vals := make([]float64, 0, count)
@@ -338,12 +403,10 @@ func (s *Series) queryTier(q Query, r Result) (Result, error) {
 		return r, fmt.Errorf("tsdb: no %s tier (have raw%s)", q.Res,
 			strings.Join(append([]string{""}, avail...), ", "))
 	}
-	if _, ok := q.Agg.quantile(); ok {
+	if _, ok := q.Agg.Quantile(); ok {
 		return r, fmt.Errorf("tsdb: percentiles require raw resolution")
 	}
-	interval := q.Res.Nanoseconds()
-	r.From = bucketStart(r.From, interval)
-	r.To = bucketStart(r.To-1, interval) + interval
+	r.From, r.To = WidenWindow(r.From, r.To, q.Res)
 	var agg Bucket
 	var firstB, lastB *Bucket
 	for i := range buckets {
@@ -369,7 +432,7 @@ func (s *Series) queryTier(q Query, r Result) (Result, error) {
 	}
 	r.Count = agg.Count
 	if firstB == nil {
-		return r, fmt.Errorf("tsdb: no buckets in window")
+		return r, noDataError("tsdb: no buckets in window")
 	}
 	switch q.Agg {
 	case AggMin:
@@ -384,7 +447,7 @@ func (s *Series) queryTier(q Query, r Result) (Result, error) {
 		r.Value = agg.Sum / float64(agg.Count)
 	case AggRate:
 		if lastB == nil {
-			return r, fmt.Errorf("tsdb: rate needs at least two buckets in window")
+			return r, noDataError("tsdb: rate needs at least two buckets in window")
 		}
 		elapsed := float64(lastB.Start-firstB.Start) / 1e9
 		r.Value = (lastB.Last - firstB.First) / elapsed

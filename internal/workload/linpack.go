@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"dproc/internal/clock"
 )
 
 // LinpackResult reports one linpack run.
@@ -34,10 +36,24 @@ func Flops(n int) float64 { return 2.0/3.0*float64(n)*float64(n)*float64(n) + 2*
 
 // Linpack generates a random n×n system Ax = b, factors A with partial
 // pivoting, solves for x, and reports the measured Mflops and the
-// normalized residual.
+// normalized residual. It times the kernel on the wall clock; simulations
+// that need deterministic results use LinpackWith and a virtual clock.
 func Linpack(n int, seed int64) (*LinpackResult, error) {
+	return LinpackWith(n, seed, nil)
+}
+
+// LinpackWith is Linpack timed on an explicit clock (nil selects the real
+// one). The numeric work — matrix, factorization, solution, residual — is a
+// pure function of (n, seed) either way; only Elapsed and Mflops depend on
+// the clock. Under a virtual clock that doesn't advance, Elapsed is 0 and
+// Mflops reports 0 rather than a wall-time-dependent rate, so two simulated
+// runs of the same scenario produce byte-identical results.
+func LinpackWith(n int, seed int64, clk clock.Clock) (*LinpackResult, error) {
 	if n < 2 {
 		return nil, errors.New("workload: linpack size must be >= 2")
+	}
+	if clk == nil {
+		clk = clock.NewReal()
 	}
 	rng := rand.New(rand.NewSource(seed))
 	a := make([]float64, n*n)
@@ -53,7 +69,7 @@ func Linpack(n int, seed int64) (*LinpackResult, error) {
 	copy(aCopy, a)
 	copy(bCopy, b)
 
-	start := time.Now()
+	start := clk.Now()
 	piv, err := luFactor(a, n)
 	if err != nil {
 		return nil, err
@@ -61,10 +77,13 @@ func Linpack(n int, seed int64) (*LinpackResult, error) {
 	x := make([]float64, n)
 	copy(x, b)
 	luSolve(a, n, piv, x)
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	res := residual(aCopy, bCopy, x, n)
-	mflops := Flops(n) / elapsed.Seconds() / 1e6
+	mflops := 0.0
+	if elapsed > 0 {
+		mflops = Flops(n) / elapsed.Seconds() / 1e6
+	}
 	return &LinpackResult{N: n, Mflops: mflops, Elapsed: elapsed, Residual: res}, nil
 }
 
