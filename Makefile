@@ -27,15 +27,20 @@ figures:
 # bench runs the tsdb, kecho fan-out, cluster-query fan-out and end-to-end
 # hot-path benchmarks (bounded so the target stays quick) and records
 # machine-readable results in BENCH_tsdb.json, BENCH_kecho.json,
-# BENCH_query.json, BENCH_hotpath.json and BENCH_obs.json via cmd/benchjson,
-# plus BENCH_scenario_scaling.json from the 1000-node scaling sweep run by
-# cmd/dprocsim (same JSON schema, so the files sit side by side).
-# The tsdb group covers the persistence paths too: durable
-# WAL append, kill-9 WAL replay and clean-restart chunk load. allocs/op in the kecho and hotpath files is the
-# zero-allocation data-plane regression gate (DESIGN.md §8); BENCH_obs.json
-# compares the hot path with observability off vs sampled 1/1024 (DESIGN.md §9);
-# BENCH_query.json tracks scatter-gather coordinator latency vs node count
-# (4/16/64) with the network held at zero (DESIGN.md §12).
+# BENCH_query.json, BENCH_hotpath.json, BENCH_obs.json and
+# BENCH_connscale.json via cmd/benchjson, plus BENCH_scenario_scaling.json
+# from the 1000-node scaling sweep run by cmd/dprocsim (same JSON schema, so
+# the files sit side by side). The tsdb group covers the persistence paths
+# too: durable WAL append, kill-9 WAL replay and clean-restart chunk load.
+# allocs/op in the kecho and hotpath files is the zero-allocation data-plane
+# regression gate (DESIGN.md §8); BENCH_hotpath.json carries both dispatch
+# variants (polled and event-driven — the latency-floor comparison of
+# DESIGN.md §13); BENCH_connscale.json tracks the publisher's goroutine
+# count and per-peer fan-out cost from 8 to 4096 peers, the reactor writer
+# pool's flat-scaling gate; BENCH_obs.json compares the hot path with
+# observability off vs sampled 1/1024 (DESIGN.md §9); BENCH_query.json
+# tracks scatter-gather coordinator latency vs node count (4/16/64) with
+# the network held at zero (DESIGN.md §12).
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkTSDB' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_tsdb.json
@@ -43,10 +48,12 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_kecho.json
 	$(GO) test -run '^$$' -bench '^BenchmarkQueryFanout' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_query.json
-	$(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . \
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 20000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 	$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$' -benchmem -benchtime 1000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+	$(GO) test -run '^$$' -bench '^BenchmarkWriterScale$$' -benchmem -benchtime 100x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_connscale.json
 	$(GO) run ./cmd/dprocsim -quiet examples/scenarios/scaling.toml
 
 # sim-smoke runs the fast scenario-harness smoke runfiles (virtual time,
@@ -54,18 +61,22 @@ bench:
 # validate (including E-code filter compilation), sweep points with churn
 # and a partition, and both artifacts. query-fault adds the sockets-engine
 # scatter-gather path: queryall fan-outs against a healthy cluster and an
-# annotated partial while a node is down. CI runs this and uploads the
-# BENCH_scenario_*.json files so scenario numbers are inspectable per commit.
+# annotated partial while a node is down; conn-scale sweeps subscriber
+# count over the sockets engine with a fixed reactor writer pool and
+# event-driven dispatch, firing a queryall mid-sweep. CI runs this and
+# uploads the BENCH_scenario_*.json files so scenario numbers are
+# inspectable per commit.
 sim-smoke:
 	$(GO) run ./cmd/dprocsim examples/scenarios/smoke.toml
 	$(GO) run ./cmd/dprocsim examples/scenarios/query-fault.toml
+	$(GO) run ./cmd/dprocsim examples/scenarios/conn-scale.toml
 
 # allocgate asserts the tracing-off hot path is still allocation-free: every
 # allocs/op figure from the baseline hot path and the observability-off
 # variant must be exactly 0. This is the CI guard that the self-observability
 # layer cannot regress PR 4's zero-allocation steady state.
 allocgate:
-	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 1000x . && \
+	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 20000x . && \
 		$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$/^off$$' -benchmem -benchtime 1000x . ); \
 	echo "$$out"; \
 	bad=$$(echo "$$out" | grep 'allocs/op' | awk '$$(NF-1) != 0'); \

@@ -9,9 +9,12 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -1013,14 +1016,22 @@ func BenchmarkSubmitFanout(b *testing.B) {
 // BenchmarkHotPath measures the complete steady-state event hot path of one
 // monitoring round, end to end: run the paper's Figure 3 E-code filter on a
 // sample (pooled VM, cached compilation), Submit the resulting event to a
-// kecho peer (encode-once pooled records), and drive the subscriber's Poll
-// until the event has crossed the loopback TCP link and been dispatched to a
-// handler (zero-copy frame receive, recycled payload buffers). With the
-// pooling in wire, kecho and ecode the whole round should run without
-// steady-state allocation; allocs/op is the number to watch in
-// BENCH_hotpath.json.
+// kecho peer (encode-once pooled records), and wait until the event has
+// crossed the loopback TCP link and been dispatched to a handler (zero-copy
+// frame receive, recycled payload buffers). The "polled" variant drives the
+// subscriber's Poll loop — the paper-fidelity default, whose floor is the
+// poll/sleep quantum — while "event" uses Dispatch: EventDriven, where the
+// read reactor hands the frame straight to the dispatcher and the round-trip
+// is bounded by scheduler wake-ups, not polling. With the pooling in wire,
+// kecho and ecode both variants should run without steady-state allocation;
+// allocs/op is the number to watch in BENCH_hotpath.json.
 func BenchmarkHotPath(b *testing.B) {
-	runHotPath(b, nil, nil)
+	b.Run("polled", func(b *testing.B) {
+		runHotPath(b, kecho.Polled, nil, nil)
+	})
+	b.Run("event", func(b *testing.B) {
+		runHotPath(b, kecho.EventDriven, nil, nil)
+	})
 }
 
 // BenchmarkHotPathObs is the same end-to-end round with the observability
@@ -1030,14 +1041,14 @@ func BenchmarkHotPath(b *testing.B) {
 // tracks against the untraced baseline.
 func BenchmarkHotPathObs(b *testing.B) {
 	b.Run("off", func(b *testing.B) {
-		runHotPath(b, obs.New("pub", nil, 0), obs.New("sub", nil, 0))
+		runHotPath(b, kecho.Polled, obs.New("pub", nil, 0), obs.New("sub", nil, 0))
 	})
 	b.Run("sampled_1_1024", func(b *testing.B) {
-		runHotPath(b, obs.New("pub", nil, 1024), obs.New("sub", nil, 1024))
+		runHotPath(b, kecho.Polled, obs.New("pub", nil, 1024), obs.New("sub", nil, 1024))
 	})
 }
 
-func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
+func runHotPath(b *testing.B, mode kecho.DispatchMode, pubObs, subObs *obs.Observer) {
 	src := `
 {
   int i = 0;
@@ -1067,13 +1078,14 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { reg.Close() })
-	join := func(id string, o *obs.Observer) *kecho.Channel {
+	join := func(id string, o *obs.Observer, d kecho.DispatchMode) *kecho.Channel {
 		cli := registry.NewClient(reg.Addr())
 		b.Cleanup(func() { cli.Close() })
 		ch, err := kecho.Join(cli, "hotpath", id, &kecho.Options{
 			WriteDeadline:    2 * time.Second,
 			DisableReconnect: true,
 			Observer:         o,
+			Dispatch:         d,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -1081,16 +1093,20 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 		b.Cleanup(func() { ch.Close() })
 		return ch
 	}
-	sub := join("sub", subObs)
-	pub := join("pub", pubObs)
+	sub := join("sub", subObs, mode)
+	pub := join("pub", pubObs, kecho.Polled)
 	if !pub.WaitForPeers(1, 5*time.Second) || !sub.WaitForPeers(1, 5*time.Second) {
 		b.Fatal("hot-path mesh did not form")
 	}
 	var got atomic.Int64
-	var seen int
+	var seen atomic.Int64
+	sig := make(chan struct{}, 1)
 	sub.Subscribe(func(ev kecho.Event) {
-		seen += len(ev.Payload)
+		seen.Add(int64(len(ev.Payload)))
 		got.Add(1)
+		if mode == kecho.EventDriven {
+			sig <- struct{}{} // cap 1 never blocks: one event in flight per round
+		}
 	})
 
 	// The submitted event carries the filter's output records in the same
@@ -1098,8 +1114,8 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 	// reused across rounds.
 	payload := make([]byte, 0, 256)
 
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	var target int64
+	round := func() {
 		env.Reset()
 		vm := pool.Get()
 		// Like d-mon's PollOnce: the trace decision is made when the round
@@ -1129,7 +1145,14 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 		if _, serr := pub.SubmitTraced(payload, tid); serr != nil {
 			b.Fatal(serr)
 		}
-		for got.Load() < int64(i+1) {
+		target++
+		if mode == kecho.EventDriven {
+			// The handler's channel send both signals completion and
+			// publishes its counter updates to this goroutine.
+			<-sig
+			return
+		}
+		for got.Load() < target {
 			// An empty poll must genuinely sleep, not spin: on a single-CPU
 			// host a busy loop keeps the scheduler from blocking in netpoll,
 			// so the arriving frame would wait for the ~10ms sysmon tick.
@@ -1138,11 +1161,131 @@ func runHotPath(b *testing.B, pubObs, subObs *obs.Observer) {
 			}
 		}
 	}
+
+	// Warm-up: the first rounds grow the VM pool, outbox record pool, frame
+	// reader and payload free-list to steady state — and, in polled mode,
+	// drive enough sleep/wake cycles that the runtime's OS-thread pool hits
+	// its high-water mark (thread creation is a heap allocation). Running
+	// them untimed keeps that one-time growth out of the B/op figure, which
+	// otherwise reads a spurious ~1 B/op amortized over the measured
+	// iterations.
+	for i := 0; i < 512; i++ {
+		round()
+	}
+	seenBase := seen.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
 	b.StopTimer()
-	if seen == 0 {
+	if seen.Load() == seenBase {
 		b.Fatal("subscriber saw no payload bytes")
 	}
-	b.ReportMetric(float64(seen)/float64(b.N), "payloadB/op")
+	b.ReportMetric(float64(seen.Load()-seenBase)/float64(b.N), "payloadB/op")
+}
+
+// BenchmarkWriterScale pins the two scaling claims of the reactor refactor:
+// the publisher's goroutine count stays flat as the peer count grows from 8
+// to 4096 (the pre-reactor design spent a writer plus a reader goroutine per
+// peer), and 8-peer fan-out cost stays on par with the per-peer-goroutine
+// baseline recorded by BenchmarkSubmitFanout/healthy. Each "peer" is a
+// registry entry pointing at one shared drain listener, so the benchmark
+// isolates publisher-side cost instead of measuring 4096 full channels.
+func BenchmarkWriterScale(b *testing.B) {
+	for _, peers := range []int{8, 256, 4096} {
+		b.Run(fmt.Sprintf("peers_%d", peers), func(b *testing.B) {
+			benchWriterScale(b, peers)
+		})
+	}
+}
+
+func benchWriterScale(b *testing.B, peers int) {
+	reg, err := registry.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { reg.Close() })
+
+	// One listener plays every peer: each accepted conn gets a goroutine that
+	// drains bytes to /dev/null, which is all the publisher-side benchmark
+	// needs from the far end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func() {
+				_, _ = io.Copy(io.Discard, conn)
+				conn.Close()
+			}()
+		}
+	}()
+
+	cli := registry.NewClient(reg.Addr())
+	b.Cleanup(func() { cli.Close() })
+	for i := 0; i < peers; i++ {
+		if _, err := cli.Join("scale", fmt.Sprintf("peer%d", i), ln.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	pubCli := registry.NewClient(reg.Addr())
+	b.Cleanup(func() { pubCli.Close() })
+	pub, err := kecho.Join(pubCli, "scale", "pub", &kecho.Options{
+		WriteDeadline:    2 * time.Second,
+		DisableReconnect: true,
+		OutboxSize:       256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pub.Close() })
+	if !pub.WaitForPeers(peers, 30*time.Second) {
+		b.Fatalf("publisher connected %d peers, want %d", len(pub.Peers()), peers)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for accepted.Load() < int64(peers) {
+		if time.Now().After(deadline) {
+			b.Fatalf("drain side accepted %d/%d conns", accepted.Load(), peers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Everything beyond the drain goroutines (one per accepted conn, counted
+	// exactly) was added by the publisher's Join: its writer pool, accept
+	// loop and read reactor. The reactor design makes this independent of
+	// peers — that flatness from 8 to 4096 is the number BENCH_connscale.json
+	// tracks.
+	pubCost := runtime.NumGoroutine() - before - int(accepted.Load())
+
+	payload := make([]byte, 64)
+	for i := 0; i < 512; i++ {
+		if _, err := pub.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	// ReportMetric must run after ResetTimer, which clears custom metrics.
+	b.ReportMetric(float64(pubCost), "goroutines")
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(peers), "ns/peer-op")
 }
 
 // BenchmarkQueryFanout measures one cluster-wide scatter-gather query —

@@ -24,6 +24,7 @@ import (
 	"dproc/internal/clock"
 	"dproc/internal/core"
 	"dproc/internal/dmon"
+	"dproc/internal/kecho"
 	"dproc/internal/obs"
 	"dproc/internal/pprofserve"
 	"dproc/internal/simres"
@@ -119,6 +120,12 @@ func main() {
 	}
 	node.StartPolling(cfg.PollPeriod)
 	fmt.Printf("dprocd %q polling every %v", cfg.Name, cfg.PollPeriod)
+	if cfg.Channel.Dispatch != kecho.Polled {
+		fmt.Printf(", %s dispatch", cfg.Channel.Dispatch)
+	}
+	if cfg.Channel.Writers > 0 {
+		fmt.Printf(", %d writers", cfg.Channel.Writers)
+	}
 	if cfg.RegistryAddr != "" {
 		fmt.Printf(", registry %s", cfg.RegistryAddr)
 		if cfg.Channel.DisableReconnect {

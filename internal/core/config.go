@@ -59,6 +59,9 @@ func (cfg *Config) Validate() error {
 	if cfg.Channel.MaxBatch < 0 {
 		return fmt.Errorf("core: negative channel max batch %d", cfg.Channel.MaxBatch)
 	}
+	if cfg.Channel.Writers < 0 {
+		return fmt.Errorf("core: negative channel writers %d", cfg.Channel.Writers)
+	}
 	if cfg.AdminTimeout < 0 || cfg.QueryTimeout < 0 {
 		return fmt.Errorf("core: negative admin/query timeout")
 	}
@@ -85,6 +88,15 @@ func BindFlags(fs *flag.FlagSet, cfg *Config) {
 	fs.DurationVar(&cfg.Channel.WriteDeadline, "write-deadline", cfg.Channel.WriteDeadline, "per-peer send deadline (<0 disables)")
 	fs.IntVar(&cfg.Channel.OutboxSize, "outbox", cfg.Channel.OutboxSize, "per-peer outbound queue size in events")
 	fs.IntVar(&cfg.Channel.MaxBatch, "max-batch", cfg.Channel.MaxBatch, "max events coalesced per frame by peer writers (1 disables)")
+	fs.IntVar(&cfg.Channel.Writers, "writers", cfg.Channel.Writers, "reactor writer goroutines multiplexing all peer outboxes (0 = scale with GOMAXPROCS)")
+	fs.Func("dispatch", `event dispatch mode: "poll" (default) or "event"`, func(s string) error {
+		mode, err := kecho.ParseDispatchMode(s)
+		if err != nil {
+			return err
+		}
+		cfg.Channel.Dispatch = mode
+		return nil
+	})
 	fs.DurationVar(&cfg.Channel.ReconnectInterval, "reconnect", cfg.Channel.ReconnectInterval, "base interval of the mesh reconnect supervisor")
 	fs.BoolVar(&cfg.Channel.DisableReconnect, "no-heal", cfg.Channel.DisableReconnect, "disable the reconnect supervisor and registry heartbeats")
 	fs.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "trace one monitoring event in N (rounded up to a power of two; <=0 disables tracing)")

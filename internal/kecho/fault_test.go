@@ -552,3 +552,113 @@ func TestCloseDrainsAcceptedEvents(t *testing.T) {
 	}
 	waitForEvents(t, b, &got, events)
 }
+
+// TestReactorStallIsolation pins the shared-writer fairness bound: with a
+// single reactor writer servicing every peer, one stalled peer may hold that
+// writer for at most one write deadline before it is dropped — so the
+// healthy peers sharing the reactor receive their event within roughly one
+// deadline, never behind an unbounded stall.
+func TestReactorStallIsolation(t *testing.T) {
+	const wd = 400 * time.Millisecond
+	f := faultnet.NewFabric(59)
+	reg := newRegistry(t)
+	opts := func() *Options {
+		return &Options{WriteDeadline: wd, Writers: 1, DisableReconnect: true}
+	}
+	joinFault(t, f, reg.Addr(), "mon", "maui", opts()) // the stalled one
+	h1, _ := joinFault(t, f, reg.Addr(), "mon", "hilo", opts())
+	h2, _ := joinFault(t, f, reg.Addr(), "mon", "kona", opts())
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", opts())
+	if !a.WaitForPeers(3, 2*time.Second) {
+		t.Fatalf("publisher connected to %v, want 3 peers", a.Peers())
+	}
+	var got1, got2 atomic.Int64
+	h1.Subscribe(func(Event) { got1.Add(1) })
+	h2.Subscribe(func(Event) { got2.Add(1) })
+
+	f.StallWrites("maui", true)
+	defer f.StallWrites("maui", false)
+	start := time.Now()
+	if n, err := a.Submit([]byte("shared-reactor")); err != nil || n != 3 {
+		t.Fatalf("Submit = (%d, %v), want (3, nil)", n, err)
+	}
+	for got1.Load() < 1 || got2.Load() < 1 {
+		h1.Poll()
+		h2.Poll()
+		if time.Since(start) > 2*wd {
+			t.Fatalf("healthy peers saw (%d, %d) events after %v; one stalled peer delayed its reactor-mates beyond one write deadline (%v)",
+				got1.Load(), got2.Load(), time.Since(start), wd)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The stalled peer itself pays the deadline and is dropped.
+	deadline := time.Now().Add(2 * wd)
+	for a.Stats().DeadlineDrops < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DeadlineDrops = %d, want >= 1", a.Stats().DeadlineDrops)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestKillReviveMidDrainAccounting kills a peer while its outbox is
+// mid-drain (the writer blocked inside a stalled write with a full batch
+// behind it), lets the supervisor revive the mesh, and then requires the
+// publisher's books to balance exactly: every accepted event was either
+// delivered or landed in QueueDrops — nothing leaks when teardown, drain,
+// and revival race.
+func TestKillReviveMidDrainAccounting(t *testing.T) {
+	const events = 40
+	f := faultnet.NewFabric(61)
+	reg := newRegistry(t)
+	b, _ := joinFault(t, f, reg.Addr(), "mon", "maui", fastHeal(5))
+	a, _ := joinFault(t, f, reg.Addr(), "mon", "alan", fastHeal(6))
+	if !a.WaitForPeers(1, 2*time.Second) || !b.WaitForPeers(1, 2*time.Second) {
+		t.Fatal("mesh did not form")
+	}
+	var got atomic.Int64
+	b.Subscribe(func(Event) { got.Add(1) })
+
+	// Queue a burst behind a stalled write, then kill the connection out
+	// from under the draining writer.
+	f.StallWrites("maui", true)
+	for i := 0; i < events; i++ {
+		if n, err := a.Submit([]byte{byte(i)}); err != nil || n != 1 {
+			t.Fatalf("Submit #%d = (%d, %v), want (1, nil)", i, n, err)
+		}
+	}
+	if n := f.Sever("alan", "maui"); n < 1 {
+		t.Fatalf("Sever killed %d conns, want >= 1", n)
+	}
+	f.StallWrites("maui", false)
+
+	// The supervisor revives the mesh and a fresh event flows end-to-end.
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() == 0 {
+		if len(a.Peers()) > 0 {
+			a.Submit([]byte("probe"))
+		}
+		b.Poll()
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh did not revive: peers=%v reconnects=%d",
+				a.Peers(), a.Stats().Reconnects+b.Stats().Reconnects)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Books must balance: accepted == delivered + dropped. The burst that
+	// died with the severed conn must be in QueueDrops in full.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		b.Poll()
+		s := a.Stats()
+		if s.QueueDrops >= events && s.EventsSent == uint64(got.Load())+s.QueueDrops {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting never balanced: EventsSent=%d delivered=%d QueueDrops=%d (want sent == delivered+drops, drops >= %d)",
+				s.EventsSent, got.Load(), s.QueueDrops, events)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

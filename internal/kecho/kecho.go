@@ -7,21 +7,26 @@
 //
 // Delivery is poll-driven by default: received events queue in a bounded
 // inbox and are dispatched to handlers when the owner calls Poll, matching
-// d-mon's one-second polling of its listening sockets. Immediate dispatch
-// (handler runs on the receiving goroutine) is available for the
-// poll-versus-immediate ablation.
+// d-mon's one-second polling of its listening sockets. Two alternatives
+// exist: Immediate (handler runs on the receiving goroutine, for the
+// poll-versus-immediate ablation) and EventDriven (handlers run on frame
+// receipt on a dedicated per-channel dispatcher goroutine, serialized and
+// backpressured — the latency-floor mode; see DESIGN.md §13).
 //
 // Publishing is asynchronous: Submit enqueues the event on each peer's
-// bounded outbound queue and returns, and a dedicated writer goroutine per
-// peer drains the queue — coalescing bursts into batch frames — so a
-// stalled subscriber costs the publisher an enqueue (and eventually a
-// counted queue-overflow drop) rather than a write deadline. The channel is
-// also self-healing: joins tolerate unreachable peers, each writer bounds
-// its frame writes with a deadline and drops peers that exceed it, and a
-// per-channel reconnect supervisor heartbeats the registry and re-dials
-// missing peers with exponential backoff and jitter, so the mesh converges
-// again after peer crashes, partitions, or a registry restart without any
-// manual RefreshPeers call.
+// bounded outbound queue and returns. A small fixed pool of reactor writer
+// goroutines (Options.Writers) drains every outbox through a ready-ring —
+// coalescing bursts into batch frames — so a stalled subscriber costs the
+// publisher an enqueue (and eventually a counted queue-overflow drop)
+// rather than a write deadline, and an idle peer costs zero goroutines. On
+// Linux the default transport's read side is likewise multiplexed onto one
+// epoll reactor goroutine per channel. The channel is also self-healing:
+// joins tolerate unreachable peers, writers bound frame writes with a
+// deadline and drop peers that exceed it, and a per-channel reconnect
+// supervisor heartbeats the registry and re-dials missing peers with
+// exponential backoff and jitter, so the mesh converges again after peer
+// crashes, partitions, or a registry restart without any manual
+// RefreshPeers call.
 package kecho
 
 import (
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,7 +84,41 @@ const (
 	Polled DispatchMode = iota
 	// Immediate invokes handlers on the receiving goroutine.
 	Immediate
+	// EventDriven invokes handlers on frame receipt, on a dedicated
+	// per-channel dispatcher goroutine. Unlike Immediate, dispatch is
+	// serialized (one handler call at a time regardless of how many peer
+	// connections feed the channel) and backpressured: a slow handler fills
+	// the inbox, which blocks the receiving goroutine, which stops reading
+	// from the socket — so pressure propagates to the publisher's outbox and
+	// surfaces as publisher-side QueueDrops instead of silent local drops.
+	EventDriven
 )
+
+// String names the mode as the -dispatch flag spells it.
+func (m DispatchMode) String() string {
+	switch m {
+	case Polled:
+		return "poll"
+	case Immediate:
+		return "immediate"
+	case EventDriven:
+		return "event"
+	}
+	return fmt.Sprintf("DispatchMode(%d)", int(m))
+}
+
+// ParseDispatchMode maps a -dispatch flag value to its mode.
+func ParseDispatchMode(s string) (DispatchMode, error) {
+	switch s {
+	case "", "poll", "polled":
+		return Polled, nil
+	case "immediate":
+		return Immediate, nil
+	case "event", "event-driven", "eventdriven":
+		return EventDriven, nil
+	}
+	return 0, fmt.Errorf("kecho: unknown dispatch mode %q (want poll, event, or immediate)", s)
+}
 
 // Event is one message delivered on a channel.
 //
@@ -181,6 +221,11 @@ type Options struct {
 	// MaxBatch caps how many queued events a writer coalesces into one batch
 	// frame per wake-up; 0 means 64, 1 disables batching.
 	MaxBatch int
+	// Writers sizes the channel's reactor writer pool — the fixed set of
+	// goroutines that drain every peer's outbox. 0 scales with GOMAXPROCS
+	// (floor 2, cap 8); the floor keeps one stalled peer from blocking the
+	// whole fan-out, since a peer occupies at most one writer at a time.
+	Writers int
 	// ReconnectInterval is the supervisor's base pace for heartbeating the
 	// registry and re-dialing missing peers; 0 means 250ms.
 	ReconnectInterval time.Duration
@@ -232,6 +277,21 @@ const (
 	defaultReconnectMax      = 5 * time.Second
 )
 
+// defaultWriters resolves Options.Writers == 0: scale with the machine but
+// never below two — the fairness bound "one stalled peer delays the rest by
+// at most one write deadline" needs a second writer to keep draining — and
+// never above eight, past which contention on the ready ring buys nothing.
+func defaultWriters() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
 // Channel is one member's handle on a named event channel.
 type Channel struct {
 	name      string
@@ -247,6 +307,18 @@ type Channel struct {
 	writeDeadline time.Duration
 	outboxSize    int
 	maxBatch      int
+	writers       int
+
+	// ring schedules peers with non-empty outboxes onto the reactor writer
+	// pool; see writer.go for the queue-ownership protocol.
+	ring *readyRing
+	// rr multiplexes the read side of default-transport conns onto one
+	// epoll goroutine (Linux); nil means every conn gets a fallback reader.
+	rr *readReactor
+	// fallbackReaders counts live per-conn reader goroutines — conns the
+	// read reactor could not adopt (wrapped transports, non-Linux). The
+	// goroutine-census test bounds total goroutines by writers + this.
+	fallbackReaders atomic.Int32
 
 	mu       sync.Mutex
 	peers    map[string]*peer
@@ -349,9 +421,20 @@ type peer struct {
 	dead     chan struct{}
 	downOnce sync.Once
 	// pending counts events accepted for this peer (enqueued on outbox or
-	// held by the writer) whose write has neither completed nor been
+	// held by a writer) whose write has neither completed nor been
 	// abandoned; Close's graceful drain waits for it to reach zero.
 	pending atomic.Int64
+	// scheduled is the queue-ownership token: true while the peer is on the
+	// ready ring or being serviced by a writer (at most one of either, so
+	// per-peer write order is total). A dead peer's token is held forever.
+	// See writer.go.
+	scheduled atomic.Bool
+	// carry holds a record that would have overflowed the previous batch
+	// frame; it opens the next batch. Owned by whoever holds scheduled.
+	carry *outRecord
+	// rfd is the conn's file descriptor while registered with the read
+	// reactor (written once at registration, before any concurrent reader).
+	rfd int
 }
 
 // close tears the peer down: closes the connection and wakes the writer.
@@ -444,12 +527,34 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	if c.maxBatch <= 0 {
 		c.maxBatch = defaultMaxBatch
 	}
+	c.writers = opts.Writers
+	if c.writers <= 0 {
+		c.writers = defaultWriters()
+	}
+	c.ring = newReadyRing()
 	c.obs = opts.Observer
 	c.registerMetrics(opts.Metrics)
 	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
 	if err != nil {
 		ln.Close()
 		return nil, err
+	}
+	// The machinery must be running before the first peer attaches: the
+	// read reactor adopts conns as dialPeer/acceptLoop add them, and the
+	// writer pool drains outboxes the moment a producer schedules a peer.
+	// Only the default transport's conns expose raw fds the reactor may
+	// read; wrapped transports (faultnet) intercept Read on their own conn
+	// types, so their peers keep per-conn reader goroutines.
+	if opts.Transport == nil {
+		c.rr = startReadReactor(c)
+	}
+	for i := 0; i < c.writers; i++ {
+		c.wg.Add(1)
+		go c.writerLoop()
+	}
+	if opts.Dispatch == EventDriven {
+		c.wg.Add(1)
+		go c.dispatchLoop()
 	}
 	for _, m := range peers {
 		if err := c.dialPeer(m); err != nil {
@@ -604,8 +709,10 @@ func (c *Channel) dialPeer(m registry.Member) error {
 	return nil
 }
 
-// addPeer registers p and starts its read and write loops, replacing (and
-// closing) any previous connection with the same peer ID.
+// addPeer registers p and starts its read side, replacing (and closing) any
+// previous connection with the same peer ID. The write side needs no
+// per-peer start: the shared writer pool services p once a producer
+// schedules it.
 func (c *Channel) addPeer(p *peer) {
 	c.mu.Lock()
 	if c.closed {
@@ -613,14 +720,32 @@ func (c *Channel) addPeer(p *peer) {
 		p.close()
 		return
 	}
-	if old, ok := c.peers[p.id]; ok {
+	old, hadOld := c.peers[p.id]
+	if hadOld {
 		old.close()
 	}
 	c.peers[p.id] = p
 	c.mu.Unlock()
-	c.wg.Add(2)
-	go c.readLoop(p)
-	go c.writeLoop(p)
+	if hadOld && c.rr != nil {
+		// Unregister the replaced conn promptly; its fd is closed and may be
+		// reused by the very conn being added.
+		c.rr.forget(old)
+	}
+	c.startReader(p)
+}
+
+// startReader hands p's conn to the read reactor, or falls back to a
+// dedicated reader goroutine when the reactor cannot adopt it.
+func (c *Channel) startReader(p *peer) {
+	if c.rr != nil && c.rr.register(p) {
+		return
+	}
+	c.fallbackReaders.Add(1)
+	c.wg.Add(1)
+	go func() {
+		defer c.fallbackReaders.Add(-1)
+		c.readLoop(p)
+	}()
 }
 
 // dropRecord discards one event that was accepted for peer p but will never
@@ -639,6 +764,18 @@ func (c *Channel) removePeer(p *peer) {
 	}
 	c.mu.Unlock()
 	p.close()
+	if c.rr != nil {
+		c.rr.forget(p)
+	}
+	// Account everything still queued as dropped. The scheduled token
+	// arbitrates: if a writer holds it, that writer's own exit path drains;
+	// otherwise this CAS adopts the peer (permanently — the token is never
+	// released, so the dead peer cannot re-enter the ring). Producers cannot
+	// enqueue anymore: the map delete above and every enqueue serialize on
+	// c.mu.
+	if p.scheduled.CompareAndSwap(false, true) {
+		c.drainDeadPeer(p)
+	}
 }
 
 func (c *Channel) acceptLoop() {
@@ -665,10 +802,11 @@ func (c *Channel) acceptLoop() {
 	}
 }
 
-// readLoop drains peer p's connection. It owns a single receive buffer (the
-// FrameReader) reused across frames, and a batch scratch reused across batch
-// frames, so the steady-state receive path — read frame, unpack batch,
-// decode records, dispatch — performs no allocation.
+// readLoop is the fallback reader for conns the read reactor cannot adopt:
+// it drains peer p's connection with a blocking FrameReader. It owns a
+// single receive buffer reused across frames, and a batch scratch reused
+// across batch frames, so the steady-state receive path — read frame,
+// unpack batch, decode records, dispatch — performs no allocation.
 func (c *Channel) readLoop(p *peer) {
 	defer c.wg.Done()
 	defer c.removePeer(p)
@@ -679,25 +817,31 @@ func (c *Channel) readLoop(p *peer) {
 		if err != nil {
 			return
 		}
-		switch typ {
-		case frameEvent:
-			c.receiveEvent(p, payload)
-		case frameBatch:
-			// Unpack transparently: consumers see the same event stream
-			// whether or not the sender's writer coalesced. The decoded
-			// records are subslices of the frame buffer; they are consumed
-			// (dispatched or copied into pooled inbox buffers) before the
-			// next fr.Next reuses it.
-			var derr error
-			batch, derr = wire.DecodeBatchInto(batch[:0], payload)
-			if derr != nil {
-				continue
-			}
-			for _, rec := range batch {
-				c.receiveEvent(p, rec)
-			}
-		}
+		batch = c.handleFrame(p, typ, payload, batch)
 	}
+}
+
+// handleFrame delivers one received frame: a single event directly, a batch
+// frame unpacked transparently — consumers see the same event stream whether
+// or not the sender's writer coalesced. The decoded records are subslices of
+// payload; they are consumed (dispatched or copied into pooled inbox
+// buffers) before the caller reuses its receive buffer. batch is the
+// caller's decode scratch, returned (possibly grown) for reuse.
+func (c *Channel) handleFrame(p *peer, typ uint8, payload []byte, batch [][]byte) [][]byte {
+	switch typ {
+	case frameEvent:
+		c.receiveEvent(p, payload)
+	case frameBatch:
+		dec, derr := wire.DecodeBatchInto(batch[:0], payload)
+		if derr != nil {
+			return batch
+		}
+		for _, rec := range dec {
+			c.receiveEvent(p, rec)
+		}
+		return dec
+	}
+	return batch
 }
 
 // internFrom returns the publisher ID for a decoded from field without
@@ -757,149 +901,24 @@ func (c *Channel) receiveEvent(p *peer, record []byte) {
 	buf := c.getPayloadBuf(len(body))
 	ev.Payload = append(buf, body...)
 	ev.pooled = true
+	if c.opts.Dispatch == EventDriven {
+		// Queued-not-dropped: when the dispatcher falls behind, block the
+		// receiving goroutine. That stops socket reads, fills the kernel
+		// buffers, stalls the publisher's writer, and backs its outbox up
+		// into QueueDrops — backpressure instead of local loss.
+		select {
+		case c.inbox <- ev:
+		case <-c.stop:
+			c.dropped.Add(1)
+			c.putPayloadBuf(ev.Payload)
+		}
+		return
+	}
 	select {
 	case c.inbox <- ev:
 	default:
 		c.dropped.Add(1)
 		c.putPayloadBuf(ev.Payload)
-	}
-}
-
-// writeLoop is peer p's dedicated writer: it drains the outbox, coalescing
-// queued events into one batch frame per wake-up — bounded by both maxBatch
-// and the wire frame limit — and tears the peer down on any write failure.
-// A stalled subscriber therefore costs the publisher an enqueue; the
-// deadline is paid here, off the Submit path.
-func (c *Channel) writeLoop(p *peer) {
-	defer c.wg.Done()
-	// Whatever is still queued when the writer exits (peer torn down,
-	// replaced, or failed) was accepted by Submit but will never be written;
-	// count it so EventsSent - QueueDrops reflects actual deliveries. The
-	// drain is bounded by a length snapshot so a concurrent Submit cannot
-	// live-lock it.
-	// carry holds a record pulled from the outbox that would have pushed the
-	// previous batch past the frame limit; it opens the next batch instead,
-	// preserving order.
-	var carry *outRecord
-	defer func() {
-		if carry != nil {
-			c.dropRecord(p, carry)
-		}
-		for n := len(p.outbox); n > 0; n-- {
-			select {
-			case rec := <-p.outbox:
-				c.dropRecord(p, rec)
-			default:
-				return
-			}
-		}
-	}()
-	// The writer's scratch persists across wake-ups: the record batch, the
-	// view slice handed to wire.AppendBatch, and the batch-frame encode
-	// buffer, so steady-state coalescing allocates nothing.
-	batch := make([]*outRecord, 0, c.maxBatch)
-	views := make([][]byte, 0, c.maxBatch)
-	var enc []byte
-	for {
-		var first *outRecord
-		if carry != nil {
-			first, carry = carry, nil
-		} else {
-			select {
-			case first = <-p.outbox:
-			case <-p.dead:
-				return
-			}
-		}
-		batch = append(batch[:0], first)
-		// Batch payload size: 4-byte count, then each record with a 4-byte
-		// length prefix (wire.AppendBatch). Individual events may legally
-		// approach wire.MaxFrameSize, so the coalesce loop must bound bytes,
-		// not just count — a burst of large events must split across frames,
-		// not produce one oversized frame the wire layer rejects.
-		bytes := 4 + 4 + len(first.buf)
-		// Coalesce whatever else queued while we were away (or writing).
-	coalesce:
-		for len(batch) < c.maxBatch {
-			select {
-			case rec := <-p.outbox:
-				if bytes+4+len(rec.buf) > wire.MaxFrameSize {
-					carry = rec
-					break coalesce
-				}
-				batch = append(batch, rec)
-				bytes += 4 + len(rec.buf)
-			default:
-				break coalesce
-			}
-		}
-		var err error
-		// done counts events resolved this round — written or deliberately
-		// dropped, their references released — so the error path can account
-		// for the remainder.
-		done := 0
-		if len(batch) == 1 {
-			if err = p.send(frameEvent, first.buf, c.writeDeadline); err == nil {
-				c.observeWritten(batch)
-				p.pending.Add(-1)
-				first.release()
-				done = 1
-			}
-		} else {
-			views = views[:0]
-			for _, rec := range batch {
-				views = append(views, rec.buf)
-			}
-			enc = wire.AppendBatch(enc[:0], views)
-			if err = p.send(frameBatch, enc, c.writeDeadline); err == nil {
-				c.batchesSent.Add(1)
-				c.observeWritten(batch)
-				p.pending.Add(-int64(len(batch)))
-				for _, rec := range batch {
-					rec.release()
-				}
-				done = len(batch)
-			}
-			if cap(enc) > maxPooledRecord {
-				// Don't let one giant burst pin a frame-sized buffer forever.
-				enc = nil
-			}
-		}
-		if err != nil && errors.Is(err, wire.ErrFrameSize) {
-			// ErrFrameSize means WriteFrame wrote nothing — the connection is
-			// intact, only this frame was refused. Degrade to individual
-			// frames; a single event too large for the wire format can never
-			// be delivered and is dropped rather than killing the peer.
-			err = nil
-			for _, rec := range batch {
-				if len(rec.buf) > wire.MaxFrameSize {
-					c.dropRecord(p, rec)
-					done++
-					continue
-				}
-				if err = p.send(frameEvent, rec.buf, c.writeDeadline); err != nil {
-					break
-				}
-				if c.obs != nil && !rec.enq.IsZero() {
-					c.obs.ObserveQueue(c.clk.Now().Sub(rec.enq), rec.traceID)
-					c.obs.ObserveBatch(1)
-				}
-				p.pending.Add(-1)
-				rec.release()
-				done++
-			}
-		}
-		if err != nil {
-			if isTimeout(err) {
-				c.deadlineDrops.Add(1)
-			}
-			// Events pulled from the outbox for this write die with it.
-			for _, rec := range batch[done:] {
-				c.dropRecord(p, rec)
-			}
-			c.removePeer(p)
-			return
-		}
 	}
 }
 
@@ -945,8 +964,13 @@ func (c *Channel) dispatch(ev Event) {
 // by a snapshot of the queue length, so a producer that keeps pace with the
 // consumer cannot live-lock the caller's poll tick: events arriving during
 // the drain wait for the next Poll. It mirrors d-mon's per-second socket
-// poll; meaningful only in Polled mode.
+// poll; meaningful only in Polled mode. In EventDriven mode the dispatcher
+// goroutine owns the inbox and Poll reports zero — callers may keep a poll
+// tick running unchanged when they flip modes.
 func (c *Channel) Poll() int {
+	if c.opts.Dispatch == EventDriven {
+		return 0
+	}
 	n := 0
 	for max := len(c.inbox); n < max; {
 		select {
@@ -965,8 +989,38 @@ func (c *Channel) Poll() int {
 	return n
 }
 
-// Pending reports how many events are queued awaiting Poll.
+// Pending reports how many events are queued awaiting Poll (or, in
+// EventDriven mode, awaiting the dispatcher).
 func (c *Channel) Pending() int { return len(c.inbox) }
+
+// dispatchLoop is the EventDriven dispatcher: one goroutine per channel
+// drains the inbox and runs the handlers, so dispatch is serialized by
+// construction no matter how many peer connections feed the channel. On
+// Close it finishes whatever is already queued, then exits.
+func (c *Channel) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case ev := <-c.inbox:
+			c.dispatch(ev)
+			if ev.pooled {
+				c.putPayloadBuf(ev.Payload)
+			}
+		case <-c.stop:
+			for {
+				select {
+				case ev := <-c.inbox:
+					c.dispatch(ev)
+					if ev.pooled {
+						c.putPayloadBuf(ev.Payload)
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
 
 // encodeRecord encodes payload as one event record (publisher ID, sequence
 // number, body) into a pooled record holding a single reference — the
@@ -1032,6 +1086,7 @@ func (c *Channel) SubmitTraced(payload []byte, traceID uint64) (int, error) {
 		select {
 		case p.outbox <- rec:
 			sent++
+			c.schedule(p)
 		default:
 			p.pending.Add(-1)
 			rec.refs.Add(-1) // cannot hit zero: the submitter's ref is live
@@ -1051,26 +1106,32 @@ func (c *Channel) SubmitTraced(payload []byte, traceID uint64) (int, error) {
 // wrapping ErrOutboxFull, so callers can tell transient backpressure (skip
 // and retry later) from a peer that is not connected at all.
 func (c *Channel) SubmitTo(peerID string, payload []byte) error {
+	// The enqueue runs under c.mu like Submit's: removePeer's adopt-and-drain
+	// relies on every producer serializing against the map delete, so a
+	// record can never land on an outbox after the dead peer was drained.
 	c.mu.Lock()
-	p, ok := c.peers[peerID]
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed {
+		c.mu.Unlock()
 		return errors.New("kecho: channel closed")
 	}
+	p, ok := c.peers[peerID]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
 	rec := c.encodeRecord(payload, 0)
 	p.pending.Add(1)
 	select {
 	case p.outbox <- rec: // the caller's sole reference transfers to the outbox
+		c.schedule(p)
 	default:
 		p.pending.Add(-1)
 		c.queueDrops.Add(1)
 		rec.release()
+		c.mu.Unlock()
 		return fmt.Errorf("%w: peer %q on channel %q", ErrOutboxFull, peerID, c.name)
 	}
+	c.mu.Unlock()
 	c.eventsSent.Add(1)
 	c.bytesSent.Add(uint64(len(payload)))
 	return nil
@@ -1237,7 +1298,18 @@ func (c *Channel) Close() error {
 	for _, p := range peers {
 		p.close()
 	}
+	// Closing the ring lets the writers finish whatever is still queued
+	// (writes against just-closed conns fail fast and drain into QueueDrops)
+	// and exit; the read reactor is woken to exit, and its fds are closed
+	// only after wg.Wait proves nothing can still touch them.
+	c.ring.close()
+	if c.rr != nil {
+		c.rr.shutdown()
+	}
 	c.wg.Wait()
+	if c.rr != nil {
+		c.rr.closeFDs()
+	}
 	_ = c.reg.Leave(c.name, c.id)
 	return err
 }

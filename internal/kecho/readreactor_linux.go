@@ -1,0 +1,227 @@
+//go:build linux
+
+package kecho
+
+import (
+	"sync"
+	"syscall"
+
+	"dproc/internal/wire"
+)
+
+// readReactor multiplexes the read side of every plain-TCP peer connection
+// onto one epoll-driven goroutine per channel, so an idle peer costs zero
+// reader goroutines. It is only engaged for the default transport
+// (Options.Transport == nil): wrapped transports (faultnet, tests) intercept
+// Read/Write on their own conn types, which a raw-fd reader would bypass, so
+// those peers fall back to a per-conn reader goroutine (counted in
+// Channel.fallbackReaders).
+//
+// Reads are performed through syscall.RawConn.Read with a pre-built per-conn
+// closure, so the runtime's fd refcount protects against close/reuse races
+// and the steady-state read path allocates nothing. The reactor goroutine is
+// the only reader, so one shared receive buffer serves every conn; frames
+// split across reads accumulate in a per-conn incremental wire.Parser.
+type readReactor struct {
+	c      *Channel
+	epfd   int
+	wake   [2]int // pipe: writing one byte interrupts EpollWait for shutdown
+	mu     sync.Mutex
+	conns  map[int]*reactorConn
+	closed bool
+	buf    []byte // shared read buffer (single reader goroutine)
+	events []syscall.EpollEvent
+	batch  [][]byte // batch-frame decode scratch, reused across frames
+}
+
+type reactorConn struct {
+	p       *peer
+	raw     syscall.RawConn
+	fd      int
+	parser  wire.Parser
+	readFn  func(fd uintptr) bool
+	lastN   int
+	lastErr error
+}
+
+// startReadReactor creates the channel's read reactor, or returns nil (and
+// the channel falls back to reader goroutines) if epoll setup fails.
+func startReadReactor(c *Channel) *readReactor {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	var pfd [2]int
+	if err := syscall.Pipe2(pfd[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil
+	}
+	r := &readReactor{
+		c:      c,
+		epfd:   epfd,
+		wake:   pfd,
+		conns:  make(map[int]*reactorConn),
+		buf:    make([]byte, 64<<10),
+		events: make([]syscall.EpollEvent, 64),
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pfd[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pfd[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pfd[0])
+		syscall.Close(pfd[1])
+		return nil
+	}
+	c.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// register adds p's connection to the epoll set, reporting whether the
+// reactor took ownership of its read side. A false return means the caller
+// must start a fallback reader goroutine.
+func (r *readReactor) register(p *peer) bool {
+	sc, ok := p.conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	fd := -1
+	if err := raw.Control(func(u uintptr) { fd = int(u) }); err != nil || fd < 0 {
+		return false
+	}
+	rc := &reactorConn{p: p, raw: raw, fd: fd}
+	// The read closure is built once per conn: per-event closures would
+	// allocate on every wake-up.
+	rc.readFn = func(u uintptr) bool {
+		rc.lastN, rc.lastErr = syscall.Read(int(u), r.buf)
+		return true
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	p.rfd = fd // under r.mu: forget reads it under the same lock
+	r.conns[fd] = rc
+	r.mu.Unlock()
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP, Fd: int32(fd)}
+	if err := syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		r.mu.Lock()
+		delete(r.conns, fd)
+		r.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// forget drops p's registration, called when the peer is torn down. The fd
+// may already be closed (the kernel then auto-removed it from the epoll
+// set), or even reused by a newer conn — the identity check keeps a stale
+// teardown from unregistering its successor.
+func (r *readReactor) forget(p *peer) {
+	r.mu.Lock()
+	if rc, ok := r.conns[p.rfd]; ok && rc.p == p {
+		delete(r.conns, p.rfd)
+		_ = syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_DEL, p.rfd, nil)
+	}
+	r.mu.Unlock()
+}
+
+// run is the reactor goroutine: wait for readable conns, service each.
+func (r *readReactor) run() {
+	defer r.c.wg.Done()
+	for {
+		n, err := syscall.EpollWait(r.epfd, r.events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			fd := int(r.events[i].Fd)
+			if fd == r.wake[0] {
+				return // shutdown: only ever written by shutdown()
+			}
+			r.mu.Lock()
+			rc := r.conns[fd]
+			r.mu.Unlock()
+			if rc == nil {
+				continue // stale event for an already-forgotten conn
+			}
+			r.service(rc)
+		}
+	}
+}
+
+// service reads whatever rc's socket has buffered and feeds it through the
+// conn's incremental parser, dispatching each completed frame. It returns
+// when the socket drains (EAGAIN) — epoll is level-triggered, so a partial
+// drain simply re-fires — and tears the peer down on EOF, a read error, or
+// a protocol violation.
+func (r *readReactor) service(rc *reactorConn) {
+	for {
+		if err := rc.raw.Read(rc.readFn); err != nil {
+			// The conn was closed under us (peer teardown or Close).
+			r.teardown(rc)
+			return
+		}
+		n, rerr := rc.lastN, rc.lastErr
+		if n > 0 {
+			data := r.buf[:n]
+			for len(data) > 0 {
+				used, typ, payload, ok, perr := rc.parser.Next(data)
+				if perr != nil {
+					r.teardown(rc)
+					return
+				}
+				data = data[used:]
+				if ok {
+					r.batch = r.c.handleFrame(rc.p, typ, payload, r.batch)
+				}
+			}
+		}
+		if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+			return
+		}
+		if rerr != nil || n == 0 {
+			r.teardown(rc) // read error or EOF
+			return
+		}
+		if n < len(r.buf) {
+			// Likely drained; if more arrived meanwhile, level-triggered
+			// epoll re-fires. Returning keeps one chatty conn from starving
+			// the rest of this wait round.
+			return
+		}
+	}
+}
+
+func (r *readReactor) teardown(rc *reactorConn) {
+	r.forget(rc.p)
+	r.c.removePeer(rc.p)
+}
+
+// shutdown wakes the reactor goroutine so it exits; idempotent. The fds are
+// closed later by closeFDs, after Close's wg.Wait proves no goroutine can
+// still touch them.
+func (r *readReactor) shutdown() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	var b [1]byte
+	_, _ = syscall.Write(r.wake[1], b[:])
+}
+
+func (r *readReactor) closeFDs() {
+	syscall.Close(r.epfd)
+	syscall.Close(r.wake[0])
+	syscall.Close(r.wake[1])
+}

@@ -1,0 +1,71 @@
+package kecho
+
+import "sync"
+
+// readyRing is the scheduling queue between producers and the reactor writer
+// pool: a peer whose outbox goes non-empty is pushed exactly once (guarded by
+// peer.scheduled), and an idle writer pops the next ready peer to service.
+// FIFO order is the fairness mechanism — a peer that still has queued events
+// after one service round re-enters at the tail, behind every other ready
+// peer.
+type readyRing struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	q      []*peer
+	head   int
+	closed bool
+}
+
+func newReadyRing() *readyRing {
+	r := &readyRing{}
+	r.cond.L = &r.mu
+	return r
+}
+
+// push appends p and wakes one writer. Pushing after close is allowed: Close
+// drains the ring through the writers before they exit.
+func (r *readyRing) push(p *peer) {
+	r.mu.Lock()
+	r.q = append(r.q, p)
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// pop blocks until a peer is ready, returning false only when the ring is
+// closed and empty. Queued peers are still handed out after close so their
+// outboxes drain (against closed connections, which fail fast).
+func (r *readyRing) pop() (*peer, bool) {
+	r.mu.Lock()
+	for r.head >= len(r.q) && !r.closed {
+		r.cond.Wait()
+	}
+	if r.head >= len(r.q) {
+		r.mu.Unlock()
+		return nil, false
+	}
+	p := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	} else if r.head >= 1024 && r.head*2 >= len(r.q) {
+		// Compact a long-consumed prefix so the slice cannot grow without
+		// bound under sustained load.
+		n := copy(r.q, r.q[r.head:])
+		for i := n; i < len(r.q); i++ {
+			r.q[i] = nil
+		}
+		r.q = r.q[:n]
+		r.head = 0
+	}
+	r.mu.Unlock()
+	return p, true
+}
+
+func (r *readyRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}

@@ -226,6 +226,11 @@ func (p *parser) assign(key, val string, line int) error {
 		case "data_dir":
 			s.DataDir = unquote(val)
 			return nil
+		case "writers":
+			return p.setInt(&s.Writers, val, line, key)
+		case "dispatch":
+			s.Dispatch = unquote(val)
+			return nil
 		}
 	case "topology":
 		switch key {

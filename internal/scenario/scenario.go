@@ -75,6 +75,13 @@ type Scenario struct {
 	// history store under DataDir/<node>. The literal "auto" uses a
 	// temporary directory removed after the run.
 	DataDir string
+	// Writers, sockets engine only: reactor writer goroutines per node
+	// channel (0 = scale with GOMAXPROCS, kecho's default).
+	Writers int
+	// Dispatch, sockets engine only: the nodes' event dispatch mode —
+	// "" or "poll" (paper-fidelity polled inboxes, the default) or
+	// "event" (event-driven dispatch straight off the read path).
+	Dispatch string
 
 	Topology    Topology
 	Load        Load

@@ -18,6 +18,7 @@ import (
 	"dproc/internal/core"
 	"dproc/internal/dmon"
 	"dproc/internal/faultnet"
+	"dproc/internal/kecho"
 	"dproc/internal/metrics"
 	"dproc/internal/obs"
 	"dproc/internal/workload"
@@ -55,6 +56,10 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 	cluster, err := core.NewSimClusterWith(n, clk, s.Seed, 0, func(i int, cfg *core.Config) {
 		cfg.Channel.Transport = fabric.Host(cfg.Name)
 		cfg.Channel.InboxSize = s.Subscribers.Inbox
+		cfg.Channel.Writers = s.Writers
+		if s.Dispatch == "event" {
+			cfg.Channel.Dispatch = kecho.EventDriven
+		}
 		cfg.TraceSample = s.TraceSample
 		if dataDir != "" {
 			d := faultnet.NewDisk(nil)

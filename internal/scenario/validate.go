@@ -68,6 +68,20 @@ func (s *Scenario) Validate() error {
 	if s.DataDir != "" && s.Engine != EngineSockets {
 		return fail("scenario", "data_dir", "durable stores need engine = \"sockets\" (the model engine has no disk)")
 	}
+	if s.Writers < 0 {
+		return fail("scenario", "writers", "must be >= 0 (0 = kecho's GOMAXPROCS-scaled default), got %d", s.Writers)
+	}
+	if s.Writers > 0 && s.Engine != EngineSockets {
+		return fail("scenario", "writers", "writer pools belong to the real transport; use engine = \"sockets\"")
+	}
+	switch s.Dispatch {
+	case "", "poll", "event":
+	default:
+		return fail("scenario", "dispatch", "unknown dispatch %q (want \"poll\" or \"event\")", s.Dispatch)
+	}
+	if s.Dispatch == "event" && s.Engine != EngineSockets {
+		return fail("scenario", "dispatch", "event-driven dispatch runs on the real transport; use engine = \"sockets\"")
+	}
 
 	// Topology / sweep axis.
 	if len(s.Topology.Nodes) == 0 {
