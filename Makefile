@@ -54,6 +54,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
 	$(GO) test -run '^$$' -bench '^BenchmarkWriterScale$$' -benchmem -benchtime 100x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_connscale.json
+	$(GO) test -run '^$$' -bench '^BenchmarkRelayFanout$$' -benchmem -benchtime 50x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_relay.json
 	$(GO) run ./cmd/dprocsim -quiet examples/scenarios/scaling.toml
 
 # sim-smoke runs the fast scenario-harness smoke runfiles (virtual time,
@@ -63,21 +65,27 @@ bench:
 # scatter-gather path: queryall fan-outs against a healthy cluster and an
 # annotated partial while a node is down; conn-scale sweeps subscriber
 # count over the sockets engine with a fixed reactor writer pool and
-# event-driven dispatch, firing a queryall mid-sweep. CI runs this and
-# uploads the BENCH_scenario_*.json files so scenario numbers are
-# inspectable per commit.
+# event-driven dispatch, firing a queryall mid-sweep; relay-tree runs the
+# same 16-node cluster flat and with branching-2/4 relay overlays, so the
+# flat-vs-tree propagation and fan-out numbers land in CI too. CI runs
+# this and uploads the BENCH_scenario_*.json files so scenario numbers
+# are inspectable per commit.
 sim-smoke:
 	$(GO) run ./cmd/dprocsim examples/scenarios/smoke.toml
 	$(GO) run ./cmd/dprocsim examples/scenarios/query-fault.toml
 	$(GO) run ./cmd/dprocsim examples/scenarios/conn-scale.toml
+	$(GO) run ./cmd/dprocsim examples/scenarios/relay-tree.toml
 
 # allocgate asserts the tracing-off hot path is still allocation-free: every
-# allocs/op figure from the baseline hot path and the observability-off
-# variant must be exactly 0. This is the CI guard that the self-observability
-# layer cannot regress PR 4's zero-allocation steady state.
+# allocs/op figure from the baseline hot path, the observability-off variant
+# and the relay re-publish path (receive → dedup-admit → in-place hop rewrite
+# → downstream enqueue) must be exactly 0. This is the CI guard that neither
+# the self-observability layer nor the overlay can regress PR 4's
+# zero-allocation steady state.
 allocgate:
 	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 20000x . && \
-		$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$/^off$$' -benchmem -benchtime 1000x . ); \
+		$(GO) test -run '^$$' -bench '^BenchmarkHotPathObs$$/^off$$' -benchmem -benchtime 1000x . && \
+		$(GO) test -run '^$$' -bench '^BenchmarkRelayForward$$' -benchmem -benchtime 20000x ./internal/kecho/ ); \
 	echo "$$out"; \
 	bad=$$(echo "$$out" | grep 'allocs/op' | awk '$$(NF-1) != 0'); \
 	if [ -n "$$bad" ]; then echo "allocgate: nonzero allocs/op:"; echo "$$bad"; exit 1; fi

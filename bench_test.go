@@ -29,6 +29,7 @@ import (
 	"dproc/internal/metrics"
 	"dproc/internal/netsim"
 	"dproc/internal/obs"
+	"dproc/internal/overlay"
 	"dproc/internal/query"
 	"dproc/internal/registry"
 	"dproc/internal/simres"
@@ -1286,6 +1287,172 @@ func benchWriterScale(b *testing.B, peers int) {
 	// ReportMetric must run after ResetTimer, which clears custom metrics.
 	b.ReportMetric(float64(pubCost), "goroutines")
 	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(peers), "ns/peer-op")
+}
+
+// BenchmarkRelayFanout pins the overlay's scaling claim: with a branching-8
+// relay tree the publisher's per-event fan-out and goroutine count stay flat
+// as the subscriber count grows 64 → 1000, because the root only ever feeds
+// its branching-factor children and interior subscribers re-publish records
+// down their subtrees (the flat mesh this replaces would send one copy per
+// subscriber). Every member is relay-capable; "pub" sorts first in the tree
+// layout and takes the root. Subscribers carry observers and the publisher
+// traces every event, so the per-depth propagation histograms report the
+// store-and-forward price of each tree level as p99-d<k>-ns metrics.
+// BENCH_relay.json tracks sent/op (≈ branching at every scale), the
+// publisher goroutine census, the delivery ratio and the per-depth tail.
+func BenchmarkRelayFanout(b *testing.B) {
+	for _, subs := range []int{64, 256, 1000} {
+		b.Run(fmt.Sprintf("subs_%d", subs), func(b *testing.B) {
+			benchRelayFanout(b, subs)
+		})
+	}
+}
+
+func benchRelayFanout(b *testing.B, nsubs int) {
+	const branching = 8
+	topo := overlay.RelayTree{Branching: branching}
+	reg, err := registry.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { reg.Close() })
+
+	join := func(id string, o *obs.Observer) *kecho.Channel {
+		cli := registry.NewClient(reg.Addr())
+		b.Cleanup(func() { cli.Close() })
+		ch, err := kecho.Join(cli, "relay", id, &kecho.Options{
+			WriteDeadline:    2 * time.Second,
+			DisableReconnect: true,
+			Writers:          2,
+			InboxSize:        64,
+			OutboxSize:       256,
+			Observer:         o,
+			Topology:         topo,
+			Role:             overlay.RoleRelay,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ch.Close() })
+		return ch
+	}
+
+	// The publisher joins first and sorts first ("pub" < "sub…"), taking the
+	// root position. Each subscriber then joins in tree order, so at every
+	// join the roster is a prefix of the final layout: the joiner's parent is
+	// already listening and one dial per member builds the whole tree —
+	// correct under DisableReconnect, with no supervisor passes needed. The
+	// goroutine census brackets the publisher's Join: everything it adds
+	// (writer pool, accept loop, read reactor) is independent of the
+	// subscriber count, and accepted child connections add none.
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	pubObs := obs.New("pub", nil, 1) // trace every event so receivers observe depth
+	pub := join("pub", pubObs)
+	pubCost := runtime.NumGoroutine() - before
+
+	ids := []string{"pub"}
+	subObs := make([]*obs.Observer, nsubs)
+	subs := make([]*kecho.Channel, nsubs)
+	for i := range subs {
+		id := fmt.Sprintf("sub%04d", i)
+		ids = append(ids, id)
+		subObs[i] = obs.New(id, nil, 0) // histograms live, no publisher sampling
+		subs[i] = join(id, subObs[i])
+	}
+
+	// Wait until every member holds exactly its tree degree, computed locally
+	// from the same pure function the channels use.
+	roster := make([]registry.Member, len(ids))
+	for i, id := range ids {
+		roster[i] = registry.Member{ID: id, Role: overlay.RoleRelay}
+	}
+	want := make([]int, len(ids))
+	for i, id := range ids {
+		want[i] = len(topo.Neighbors(id, roster))
+	}
+	all := append([]*kecho.Channel{pub}, subs...)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		converged := true
+		for i, ch := range all {
+			if len(ch.Peers()) != want[i] {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("relay tree did not converge (%d members)", len(all))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// quiesce polls the cluster-wide delivery count until it stops moving (or
+	// reaches target, when nonzero), so a measurement window never starts or
+	// ends with another window's traffic still in flight.
+	quiesce := func(target uint64) uint64 {
+		var recv, last uint64
+		still := 0
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			recv = 0
+			for _, ch := range subs {
+				recv += ch.Stats().EventsRecv
+			}
+			if (target > 0 && recv >= target) || still >= 12 || time.Now().After(deadline) {
+				return recv
+			}
+			if recv == last {
+				still++
+			} else {
+				still, last = 0, recv
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	payload := make([]byte, 128)
+	for i := 0; i < 64; i++ {
+		if _, err := pub.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmRecv := quiesce(0)
+
+	base := pub.Stats()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	// Drain: wait until every subscriber saw every measured event, or until
+	// deliveries go quiet (queue drops under load make the target soft).
+	recv := quiesce(warmRecv+uint64(nsubs)*uint64(b.N)) - warmRecv
+	runtime.GC()
+	total := runtime.NumGoroutine() - before
+
+	s := pub.Stats()
+	b.ReportMetric(float64(pubCost), "pub-goroutines")
+	b.ReportMetric(float64(total)/float64(nsubs+1), "goroutines/node")
+	b.ReportMetric(float64(s.EventsSent-base.EventsSent)/float64(b.N), "sent/op")
+	b.ReportMetric(float64(recv)/float64(b.N)/float64(nsubs), "deliv-ratio")
+
+	for d := range pubObs.PropDelayDepth {
+		var snap obs.Snapshot
+		for _, o := range subObs {
+			snap.Merge(o.PropDelayDepth[d].Snapshot())
+		}
+		if snap.Count > 0 {
+			b.ReportMetric(float64(snap.Quantile(0.99)), fmt.Sprintf("p99-d%d-ns", d))
+		}
+	}
 }
 
 // BenchmarkQueryFanout measures one cluster-wide scatter-gather query —

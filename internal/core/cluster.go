@@ -61,14 +61,34 @@ func NewSimClusterWith(n int, clk clock.Clock, seed int64, padding int, customiz
 		c.Hosts = append(c.Hosts, host)
 		c.Nodes = append(c.Nodes, node)
 	}
-	// Wait for the full mesh on both channels before returning.
+	// Wait for connectivity on both channels before returning. The control
+	// channel is always a full mesh (n-1 peers); the monitoring channel's
+	// target is whatever its topology derives from the roster — n-1 when
+	// flat, the tree neighbor count under a relay overlay. Nodes join in
+	// creation order, which is not the overlay's sorted tree order, so each
+	// Join-time dial pass built a tree over a partial roster; on a virtual
+	// clock the reconnect supervisor (which would re-derive it) never fires
+	// during this real-time wait, so force one full-roster refresh per node
+	// to dial every final tree edge deterministically. Stale non-tree edges
+	// are harmless meanwhile — the relay dedup gate suppresses the redundant
+	// paths — and the supervisor prunes them once the clock advances.
 	for _, node := range c.Nodes {
 		if node.MonitoringChannel() != nil {
-			if !node.MonitoringChannel().WaitForPeers(n-1, 5*time.Second) ||
-				!node.ControlChannel().WaitForPeers(n-1, 5*time.Second) {
-				c.Close()
-				return nil, fmt.Errorf("core: channel mesh did not form for %s", node.Name())
-			}
+			_, _ = node.MonitoringChannel().RefreshPeers()
+		}
+	}
+	for _, node := range c.Nodes {
+		if node.MonitoringChannel() == nil {
+			continue
+		}
+		want := n - 1
+		if desired, err := node.MonitoringChannel().DesiredPeers(); err == nil {
+			want = len(desired)
+		}
+		if !node.MonitoringChannel().WaitForPeers(want, 5*time.Second) ||
+			!node.ControlChannel().WaitForPeers(n-1, 5*time.Second) {
+			c.Close()
+			return nil, fmt.Errorf("core: channel mesh did not form for %s", node.Name())
 		}
 	}
 	return c, nil

@@ -14,6 +14,7 @@ import (
 
 	"dproc/internal/dmon"
 	"dproc/internal/kecho"
+	"dproc/internal/overlay"
 )
 
 // DefaultTraceSample is the default tracing rate: one monitoring event in
@@ -68,6 +69,14 @@ func (cfg *Config) Validate() error {
 	if cfg.QueryFanout < 0 {
 		return fmt.Errorf("core: negative query fanout %d", cfg.QueryFanout)
 	}
+	if cfg.RelayBranching < 0 {
+		return fmt.Errorf("core: negative relay branching %d", cfg.RelayBranching)
+	}
+	switch cfg.RelayRole {
+	case "", overlay.RoleRelay:
+	default:
+		return fmt.Errorf("core: unknown relay role %q (want \"\" or %q)", cfg.RelayRole, overlay.RoleRelay)
+	}
 	return nil
 }
 
@@ -97,6 +106,8 @@ func BindFlags(fs *flag.FlagSet, cfg *Config) {
 		cfg.Channel.Dispatch = mode
 		return nil
 	})
+	fs.IntVar(&cfg.RelayBranching, "relay-branching", cfg.RelayBranching, "relay-tree branching factor for the monitoring channel (0 = flat full mesh)")
+	fs.StringVar(&cfg.RelayRole, "relay-role", cfg.RelayRole, `overlay role advertised to the registry: "" (leaf) or "relay" (interior-capable)`)
 	fs.DurationVar(&cfg.Channel.ReconnectInterval, "reconnect", cfg.Channel.ReconnectInterval, "base interval of the mesh reconnect supervisor")
 	fs.BoolVar(&cfg.Channel.DisableReconnect, "no-heal", cfg.Channel.DisableReconnect, "disable the reconnect supervisor and registry heartbeats")
 	fs.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "trace one monitoring event in N (rounded up to a power of two; <=0 disables tracing)")

@@ -16,6 +16,7 @@ import (
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
 	"dproc/internal/obs"
+	"dproc/internal/overlay"
 	"dproc/internal/registry"
 	"dproc/internal/sysinfo"
 	"dproc/internal/tsdb"
@@ -44,6 +45,18 @@ type Config struct {
 	// per frame by the peer writers). Zero fields take kecho's defaults;
 	// the node's clock, metric registry and observer are filled in here.
 	Channel kecho.Options
+	// RelayBranching, when positive, replaces the monitoring channel's flat
+	// full mesh with a relay-tree overlay of that branching factor
+	// (internal/overlay): the node connects only to its tree neighbors and
+	// interior nodes re-publish monitoring reports down their subtrees. The
+	// control channel always stays full mesh — targeted control messages
+	// (SubmitTo) need direct connections. Zero keeps both channels flat.
+	RelayBranching int
+	// RelayRole is the overlay role this node advertises to the registry
+	// ("" = leaf, "relay" = interior-capable). Only meaningful with
+	// RelayBranching set; relay-capable nodes take the interior positions
+	// of the tree.
+	RelayRole string
 	// PollPeriod is the node poll-loop interval used by callers of
 	// StartPolling (dmon.DefaultPeriod when zero).
 	PollPeriod time.Duration
@@ -160,7 +173,16 @@ func NewNode(cfg Config) (*Node, error) {
 		chOpts.Metrics = n.metrics
 		chOpts.Observer = n.obs
 		n.regCli = registry.NewClient(cfg.RegistryAddr)
-		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, &chOpts)
+		// The relay-tree overlay applies to the monitoring channel only:
+		// its traffic is broadcast reports, exactly what the tree fans out.
+		// The control channel stays full mesh regardless — remote control
+		// writes are targeted SubmitTo messages needing direct connections.
+		monOpts := chOpts
+		if cfg.RelayBranching > 0 {
+			monOpts.Topology = overlay.RelayTree{Branching: cfg.RelayBranching}
+			monOpts.Role = cfg.RelayRole
+		}
+		mon, err := kecho.Join(n.regCli, dmon.MonitoringChannel, cfg.Name, &monOpts)
 		if err != nil {
 			n.regCli.Close()
 			_ = n.d.Close()

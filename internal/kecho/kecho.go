@@ -27,6 +27,18 @@
 // exponential backoff and jitter, so the mesh converges again after peer
 // crashes, partitions, or a registry restart without any manual
 // RefreshPeers call.
+//
+// Channels are flat full meshes by default: every member connects to every
+// other and a publish touches every peer directly. Options.Topology replaces
+// that with a relay-tree overlay (internal/overlay): members connect only to
+// their tree neighbors, publishes carry a hop-count trailer, and interior
+// members re-publish received records down their subtrees — same delivery
+// semantics (every member sees each record exactly once, enforced by a
+// per-origin sequence dedup gate), but the publisher's cost is O(branching
+// factor) instead of O(members). The supervisor doubles as the re-parenting
+// mechanism: the tree is a pure function of the registry roster, so when a
+// relay dies and its TTL expires, every survivor independently re-derives
+// the same tree over the remaining members (DESIGN.md §14).
 package kecho
 
 import (
@@ -44,6 +56,7 @@ import (
 	"dproc/internal/clock"
 	"dproc/internal/metrics"
 	"dproc/internal/obs"
+	"dproc/internal/overlay"
 	"dproc/internal/registry"
 	"dproc/internal/wire"
 )
@@ -197,6 +210,15 @@ type Stats struct {
 	// BatchesSent counts multi-event frames written: wake-ups where a writer
 	// found more than one event queued and coalesced them into one frame.
 	BatchesSent uint64
+	// Relayed counts per-peer forwards of records received from other
+	// members — the relay-tree re-publish work this member performed on
+	// behalf of the overlay. Each forward is also counted in EventsSent.
+	Relayed uint64
+	// RelayDups counts received records suppressed by the relay dedup gate:
+	// already-seen (or reordered past the per-origin high-water sequence)
+	// copies arriving over redundant transient paths during re-parenting.
+	// Suppressed records are neither delivered nor forwarded.
+	RelayDups uint64
 }
 
 // Options tunes channel behaviour; the zero value gives a polled channel
@@ -249,6 +271,16 @@ type Options struct {
 	// spans; nil disables observation — the data plane then pays a single
 	// branch per stage.
 	Observer *obs.Observer
+	// Topology selects which registered members this channel connects to
+	// and whether received records are re-published down the overlay
+	// (internal/overlay). Nil is the flat full mesh: connect to everyone,
+	// forward nothing — the behaviour of every release before the overlay,
+	// with zero cost on the data plane.
+	Topology overlay.Topology
+	// Role is the overlay role advertised to the registry on join and on
+	// every heartbeat ("" = leaf, overlay.RoleRelay = interior-capable).
+	// Purely advisory for topologies that ignore roles.
+	Role string
 }
 
 // DefaultOptions returns the channel defaults as an explicit Options value
@@ -320,6 +352,18 @@ type Channel struct {
 	// goroutine-census test bounds total goroutines by writers + this.
 	fallbackReaders atomic.Int32
 
+	// topo, maxHops and role configure the overlay (Options.Topology /
+	// Options.Role); topo == nil is the flat mesh and every relay branch on
+	// the data plane is skipped.
+	topo    overlay.Topology
+	maxHops int
+	role    string
+
+	// relayMu guards the relay dedup table. Only channels with a topology
+	// touch it, and only for records that carry a hop trailer.
+	relayMu   sync.Mutex
+	relaySeen map[string]*relayOrigin
+
 	mu       sync.Mutex
 	peers    map[string]*peer
 	handlers []Handler
@@ -354,6 +398,8 @@ type Channel struct {
 	deadlineDrops *atomic.Uint64
 	queueDrops    *atomic.Uint64
 	batchesSent   *atomic.Uint64
+	relayed       *atomic.Uint64
+	relayDups     *atomic.Uint64
 
 	// obs collects latency histograms and trace spans; nil disables
 	// observation (Options.Observer).
@@ -377,6 +423,18 @@ type outRecord struct {
 	// non-zero only for sampled events. Read-only once enqueued.
 	traceID uint64
 	enq     time.Time
+}
+
+// relayOrigin is the relay dedup state for one record origin: the interned
+// origin ID (so relayed events carry it without a per-event allocation) and
+// the highest sequence number admitted from it. Sequence numbers from one
+// origin arrive in order along any single overlay path, so a monotonic
+// high-water mark suppresses every duplicate a redundant transient path can
+// produce; a straggler reordered below the mark is suppressed too (counted
+// in RelayDups) rather than delivered twice.
+type relayOrigin struct {
+	id   string
+	last uint64
 }
 
 var outRecordPool = sync.Pool{New: func() any { return new(outRecord) }}
@@ -533,11 +591,23 @@ func Join(reg *registry.Client, channelName, memberID string, opts *Options) (*C
 	}
 	c.ring = newReadyRing()
 	c.obs = opts.Observer
+	c.topo = opts.Topology
+	c.role = opts.Role
+	if c.topo != nil {
+		c.maxHops = c.topo.MaxHops()
+		c.relaySeen = make(map[string]*relayOrigin)
+	}
 	c.registerMetrics(opts.Metrics)
-	peers, err := reg.Join(channelName, memberID, ln.Addr().String())
+	peers, err := reg.JoinAs(channelName, memberID, ln.Addr().String(), c.role)
 	if err != nil {
 		ln.Close()
 		return nil, err
+	}
+	if c.topo != nil {
+		// The join response excludes this member; the topology needs the
+		// full roster (including self) to place everyone in the overlay.
+		roster := append(peers, registry.Member{ID: memberID, Addr: ln.Addr().String(), Role: c.role})
+		peers = c.topo.Neighbors(memberID, roster)
 	}
 	// The machinery must be running before the first peer attaches: the
 	// read reactor adopts conns as dialPeer/acceptLoop add them, and the
@@ -595,6 +665,8 @@ func (c *Channel) registerMetrics(mreg *metrics.Registry) {
 	c.deadlineDrops = mreg.Counter("channel", c.name, "deadline_drops")
 	c.queueDrops = mreg.Counter("channel", c.name, "queue_drops")
 	c.batchesSent = mreg.Counter("channel", c.name, "batches_sent")
+	c.relayed = mreg.Counter("channel", c.name, "relayed")
+	c.relayDups = mreg.Counter("channel", c.name, "relay_dups")
 }
 
 // Name returns the channel name.
@@ -646,6 +718,8 @@ func (c *Channel) Stats() Stats {
 		DeadlineDrops: c.deadlineDrops.Load(),
 		QueueDrops:    c.queueDrops.Load(),
 		BatchesSent:   c.batchesSent.Load(),
+		Relayed:       c.relayed.Load(),
+		RelayDups:     c.relayDups.Load(),
 	}
 }
 
@@ -866,16 +940,41 @@ func (c *Channel) receiveEvent(p *peer, record []byte) {
 	from := d.StringBytes()
 	seq := d.Uint64()
 	body := d.BytesFieldView()
-	// A sampled event carries the trace trailer; for everything else this
-	// is a single length check. The trailer must be consumed before Finish,
+	// A relayed record carries the hop trailer, a sampled one the trace
+	// trailer (hop first — the relay fast path rewrites the hop byte at a
+	// fixed offset from the end); for everything else this is a single
+	// length check per extension. Both must be consumed before Finish,
 	// which still rejects any other trailing bytes.
+	var hops uint8
+	var hopped, traced bool
 	var tid uint64
 	var sendNs int64
 	if d.Remaining() > 0 {
-		tid, sendNs, _ = d.TraceExt()
+		hops, hopped = d.HopExt()
+		tid, sendNs, traced = d.TraceExt()
 	}
 	if d.Finish() != nil {
 		return
+	}
+	fromID := ""
+	if c.topo != nil && hopped {
+		// Overlay traffic: suppress records that looped back to their
+		// origin and duplicates arriving over redundant transient paths,
+		// then re-publish what remains down the subtree. Suppression must
+		// precede delivery and the receive counters — the overlay's
+		// contract is each record delivered at most once per member.
+		if string(from) == c.id {
+			return
+		}
+		origin, admit := c.relayAdmit(from, seq)
+		if !admit {
+			c.relayDups.Add(1)
+			return
+		}
+		fromID = origin
+		if int(hops)+1 <= c.maxHops {
+			c.relayForward(p, origin, record, hops, traced, len(body), tid)
+		}
 	}
 	c.eventsRecv.Add(1)
 	c.bytesRecv.Add(uint64(len(body)))
@@ -883,12 +982,19 @@ func (c *Channel) receiveEvent(p *peer, record []byte) {
 		// Cross-node propagation delay: publisher send stamp → local
 		// receive, both on internal/clock time. Skew clamps to zero in the
 		// observer. The decode span closes here — decode work is behind us.
-		c.obs.ObservePropagation(time.Duration(recv.UnixNano()-sendNs), tid)
+		delay := time.Duration(recv.UnixNano() - sendNs)
+		c.obs.ObservePropagation(delay, tid)
+		if hopped {
+			c.obs.ObservePropagationDepth(int(hops), delay)
+		}
 		c.obs.ObserveDecode(c.clk.Now().Sub(recv), tid)
+	}
+	if fromID == "" {
+		fromID = c.internFrom(p, from)
 	}
 	ev := Event{
 		Channel: c.name,
-		From:    c.internFrom(p, from),
+		From:    fromID,
 		Seq:     seq,
 		Payload: body,
 		Recv:    recv,
@@ -920,6 +1026,78 @@ func (c *Channel) receiveEvent(p *peer, record []byte) {
 		c.dropped.Add(1)
 		c.putPayloadBuf(ev.Payload)
 	}
+}
+
+// relayAdmit is the overlay dedup gate: it interns the record's origin ID
+// and admits the record only if its sequence number advances that origin's
+// high-water mark. The common case — known origin, fresh sequence — costs
+// one alloc-free map lookup and a pointer store under relayMu.
+func (c *Channel) relayAdmit(from []byte, seq uint64) (origin string, admit bool) {
+	c.relayMu.Lock()
+	o, ok := c.relaySeen[string(from)] // compiles to an alloc-free lookup
+	if !ok {
+		o = &relayOrigin{id: string(from)}
+		c.relaySeen[o.id] = o
+	}
+	// Publisher sequence numbers start at 1, so the zero-valued mark admits
+	// the first record from a new origin.
+	admit = seq > o.last
+	if admit {
+		o.last = seq
+	}
+	c.relayMu.Unlock()
+	return o.id, admit
+}
+
+// relayForward re-publishes a received record down the overlay: every
+// current peer except the one it arrived from and its origin gets the same
+// pooled copy with the hop count incremented in place. On a converged relay
+// tree the peer set is exactly parent+children, so this floods the record
+// to the rest of the tree with no routing state; the hop bound and the
+// dedup gate make transient non-tree peerings (mid-re-parenting) safe. Like
+// Submit, the re-fan-out is encode-free and enqueue-only: one buffer copy,
+// shared by reference across the outboxes, with overflow counted in
+// QueueDrops.
+func (c *Channel) relayForward(src *peer, origin string, record []byte, hops uint8, traced bool, bodyLen int, tid uint64) {
+	rec := newOutRecord()
+	rec.buf = append(rec.buf, record...)
+	pos := len(rec.buf) - 1
+	if traced {
+		pos -= wire.TraceExtSize
+	}
+	rec.buf[pos] = hops + 1
+	if c.obs != nil {
+		rec.enq = c.clk.Now()
+		rec.traceID = tid
+	}
+	sent := 0
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		rec.release()
+		return
+	}
+	for id, p := range c.peers {
+		if p == src || id == origin {
+			continue
+		}
+		p.pending.Add(1)
+		rec.refs.Add(1)
+		select {
+		case p.outbox <- rec:
+			sent++
+			c.schedule(p)
+		default:
+			p.pending.Add(-1)
+			rec.refs.Add(-1)
+			c.queueDrops.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	c.eventsSent.Add(uint64(sent))
+	c.relayed.Add(uint64(sent))
+	c.bytesSent.Add(uint64(sent * bodyLen))
+	rec.release()
 }
 
 // observeWritten records outbox residency for every record in a just-written
@@ -1025,14 +1203,23 @@ func (c *Channel) dispatchLoop() {
 // encodeRecord encodes payload as one event record (publisher ID, sequence
 // number, body) into a pooled record holding a single reference — the
 // caller's. The wire layout matches Encoder.String + Encoder.Uint64 +
-// Encoder.BytesField, decoded by receiveEvent. A sampled event (tid != 0)
-// additionally carries the trace trailer so subscribers can measure
-// cross-node propagation against the send stamp.
-func (c *Channel) encodeRecord(payload []byte, tid uint64) *outRecord {
+// Encoder.BytesField, decoded by receiveEvent. On an overlay channel every
+// record carries the hop trailer (hops = 0: fresh from its publisher) so
+// relays can rewrite the count in place; a sampled event (tid != 0)
+// additionally carries the trace trailer, after the hop trailer, so
+// subscribers can measure cross-node propagation against the send stamp.
+func (c *Channel) encodeRecord(payload []byte, tid uint64, broadcast bool) *outRecord {
 	rec := newOutRecord()
 	rec.buf = wire.AppendString(rec.buf, c.id)
 	rec.buf = binary.BigEndian.AppendUint64(rec.buf, c.seq.Add(1))
 	rec.buf = wire.AppendBytesField(rec.buf, payload)
+	// Only broadcast records on an overlay channel carry the hop trailer —
+	// it is what marks a record as relayable. Targeted SubmitTo records stay
+	// trailer-free so receivers deliver them point-to-point and never
+	// re-publish them down the tree.
+	if c.topo != nil && broadcast {
+		rec.buf = wire.AppendHopExt(rec.buf, 0)
+	}
 	if c.obs != nil {
 		rec.enq = c.clk.Now()
 		if tid != 0 {
@@ -1043,29 +1230,62 @@ func (c *Channel) encodeRecord(payload []byte, tid uint64) *outRecord {
 	return rec
 }
 
-// Submit publishes payload to every connected peer and returns how many
-// peers accepted it into their outbound queue. Submit never writes to the
+// PublishOpts carries the per-publish options of Publish. The zero value is
+// the common case: an untraced event, sampled at publish time when an
+// observer is attached.
+type PublishOpts struct {
+	// TraceID attributes the event to an existing trace span chain (0 with
+	// Traced unset means "decide here by sampling").
+	TraceID uint64
+	// Traced marks the trace decision as already made — set it to publish
+	// with an explicit TraceID, including an explicit 0 for "this event was
+	// considered and not sampled" (d-mon decides at sample time). When
+	// unset and TraceID is 0, Publish samples via the channel's observer.
+	Traced bool
+}
+
+// Publish publishes payload to every connected peer and returns how many
+// peers accepted it into their outbound queue. Publish never writes to the
 // network itself: it enqueues the encoded event on each peer's bounded
 // outbox and returns, so a stalled subscriber costs the publisher one
-// enqueue — never a write deadline. Per-peer writer goroutines drain the
-// queues (coalescing bursts into batch frames) and drop peers whose writes
+// enqueue — never a write deadline. The reactor writer pool drains the
+// queues (coalescing bursts into batch frames) and drops peers whose writes
 // fail or time out (the reconnect supervisor re-dials them if they come
 // back). A peer whose outbox is full misses this event, counted in
 // Stats.QueueDrops.
 //
-// When an observer is attached, Submit makes the trace sampling decision
-// here, at publish time. Callers that stamped the event earlier in its life
-// (d-mon stamps at sample time) use SubmitTraced directly.
-func (c *Channel) Submit(payload []byte) (int, error) {
-	return c.SubmitTraced(payload, c.obs.SampleTrace())
+// On an overlay channel (Options.Topology) the connected peers are this
+// member's tree neighbors and the record carries a hop trailer; interior
+// members re-publish it down their subtrees, so delivery semantics —
+// every live member sees the event once — match the flat mesh while the
+// publisher's cost stays O(branching factor). All stamping (hop count,
+// trace trailer) flows through this one entry point; Submit and
+// SubmitTraced are thin wrappers.
+func (c *Channel) Publish(payload []byte, opts PublishOpts) (int, error) {
+	tid := opts.TraceID
+	if !opts.Traced && tid == 0 {
+		tid = c.obs.SampleTrace()
+	}
+	return c.publish(payload, tid)
 }
 
-// SubmitTraced is Submit for an event whose trace decision was already made:
-// traceID is the ID stamped when the event was born (0 for an unsampled
-// event). The ID rides a trailing wire-frame extension so every downstream
-// stage — queue, propagation, decode, dispatch — attributes its span to the
-// same trace.
+// Submit is Publish with default options — the paper-era entry point,
+// kept for compatibility.
+func (c *Channel) Submit(payload []byte) (int, error) {
+	return c.Publish(payload, PublishOpts{})
+}
+
+// SubmitTraced is Publish for an event whose trace decision was already
+// made: traceID is the ID stamped when the event was born (0 for an
+// unsampled event). The ID rides a trailing wire-frame extension so every
+// downstream stage — queue, propagation, decode, dispatch — attributes its
+// span to the same trace.
 func (c *Channel) SubmitTraced(payload []byte, traceID uint64) (int, error) {
+	return c.Publish(payload, PublishOpts{TraceID: traceID, Traced: true})
+}
+
+// publish is the shared fan-out body behind Publish.
+func (c *Channel) publish(payload []byte, traceID uint64) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -1074,7 +1294,7 @@ func (c *Channel) SubmitTraced(payload []byte, traceID uint64) (int, error) {
 	// Encode once; every outbox shares the same record. The enqueue loop runs
 	// under c.mu (it never blocks — the selects have defaults), which also
 	// spares the per-Submit peers-slice copy.
-	rec := c.encodeRecord(payload, traceID)
+	rec := c.encodeRecord(payload, traceID, true)
 	sent := 0
 	for _, p := range c.peers {
 		// Count the event pending before the enqueue so the graceful drain
@@ -1119,7 +1339,7 @@ func (c *Channel) SubmitTo(peerID string, payload []byte) error {
 		c.mu.Unlock()
 		return fmt.Errorf("kecho: no peer %q on channel %q", peerID, c.name)
 	}
-	rec := c.encodeRecord(payload, 0)
+	rec := c.encodeRecord(payload, 0, false)
 	p.pending.Add(1)
 	select {
 	case p.outbox <- rec: // the caller's sole reference transfers to the outbox
@@ -1151,6 +1371,9 @@ func (c *Channel) RefreshPeers() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if c.topo != nil {
+		members = c.topo.Neighbors(c.id, members)
+	}
 	dialed := 0
 	var lastErr error
 	for _, m := range members {
@@ -1170,6 +1393,29 @@ func (c *Channel) RefreshPeers() (int, error) {
 		dialed++
 	}
 	return dialed, lastErr
+}
+
+// DesiredPeers reports, from the registry's current roster, the sorted IDs
+// of the members this channel should be connected to: every other member on
+// a flat channel, or the topology's neighbor set on an overlay channel. It
+// is the target set WaitForPeers converges toward.
+func (c *Channel) DesiredPeers() ([]string, error) {
+	members, err := c.reg.Lookup(c.name)
+	if err != nil {
+		return nil, err
+	}
+	if c.topo != nil {
+		members = c.topo.Neighbors(c.id, members)
+	}
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.ID == c.id {
+			continue
+		}
+		out = append(out, m.ID)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // --- reconnect supervisor ---
@@ -1230,7 +1476,12 @@ func (c *Channel) supervise() {
 }
 
 // superviseOnce performs one heartbeat + heal round, reporting whether it
-// completed without errors.
+// completed without errors. On an overlay channel the round is also the
+// re-parenting mechanism: the desired neighbor set is re-derived from the
+// current roster, missing neighbors are dialed, and connected members that
+// are no longer neighbors are pruned — so when the registry's TTL ages out
+// a dead relay, every survivor converges on the tree over the remaining
+// members within a supervisor round of the expiry.
 func (c *Channel) superviseOnce() bool {
 	c.mu.Lock()
 	closed := c.closed
@@ -1239,17 +1490,24 @@ func (c *Channel) superviseOnce() bool {
 		return true
 	}
 	healthy := true
-	if _, err := c.reg.Heartbeat(c.name, c.id, c.ln.Addr().String()); err != nil {
+	if _, err := c.reg.HeartbeatAs(c.name, c.id, c.ln.Addr().String(), c.role); err != nil {
 		healthy = false
 	}
 	members, err := c.reg.Lookup(c.name)
 	if err != nil {
 		return false
 	}
+	if c.topo != nil {
+		// Lookup includes this member (it joined and heartbeats), so the
+		// roster is complete; Neighbors never returns self.
+		members = c.topo.Neighbors(c.id, members)
+	}
+	want := make(map[string]bool, len(members))
 	for _, m := range members {
 		if m.ID == c.id {
 			continue
 		}
+		want[m.ID] = true
 		c.mu.Lock()
 		_, have := c.peers[m.ID]
 		closed := c.closed
@@ -1266,6 +1524,23 @@ func (c *Channel) superviseOnce() bool {
 			continue
 		}
 		c.reconnects.Add(1)
+	}
+	if c.topo != nil {
+		// Prune connections to members the current tree does not pair us
+		// with. Their queued records drain into QueueDrops via the usual
+		// teardown accounting; records they would have delivered now travel
+		// the re-derived tree.
+		var prune []*peer
+		c.mu.Lock()
+		for id, p := range c.peers {
+			if !want[id] {
+				prune = append(prune, p)
+			}
+		}
+		c.mu.Unlock()
+		for _, p := range prune {
+			c.removePeer(p)
+		}
 	}
 	return healthy
 }

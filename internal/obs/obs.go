@@ -109,6 +109,12 @@ type Observer struct {
 	DispatchTime   *Histogram // handler dispatch time (ns)
 	BatchSize      *Histogram // events per written frame
 
+	// PropDelayDepth splits propagation delay by relay-tree hop count:
+	// index 0 is direct delivery (hops=0), deeper hops accumulate at their
+	// index, and anything past the last slot clamps into it. Flat channels
+	// never stamp hops, so only index 0 fills there.
+	PropDelayDepth [maxObservedDepth]*Histogram
+
 	sampled *atomic.Uint64
 
 	spanMu   sync.Mutex
@@ -142,6 +148,10 @@ func New(node string, reg *metrics.Registry, sampleEvery int) *Observer {
 			every <<= 1
 		}
 		o.every, o.mask = every, every-1
+	}
+	for i := range o.PropDelayDepth {
+		o.PropDelayDepth[i] = &Histogram{}
+		reg.Distribution("obs", "", fmt.Sprintf("prop_delay_d%d", i), "ns", o.PropDelayDepth[i])
 	}
 	o.spanPool.New = func() any { return new(Span) }
 	reg.Distribution("obs", "", "filter_run", "ns", o.FilterRun)
@@ -233,6 +243,31 @@ func (o *Observer) ObservePropagation(d time.Duration, traceID uint64) {
 	if traceID != 0 {
 		o.recordSpan(traceID, StagePropagate, d)
 	}
+}
+
+// maxObservedDepth bounds the per-depth propagation histograms: hops 0..4
+// get their own distribution, deeper hops clamp into the last slot. A relay
+// tree with branching b covers b^5 members within that range.
+const maxObservedDepth = 6
+
+// ObservePropagationDepth records a relay-delivered event's propagation
+// delay under its hop depth, feeding the per-depth p99 the relay benchmarks
+// report. Depth beyond the histogram range clamps to the last slot; negative
+// deltas (clock skew) clamp to zero, matching ObservePropagation.
+func (o *Observer) ObservePropagationDepth(depth int, d time.Duration) {
+	if o == nil {
+		return
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= maxObservedDepth {
+		depth = maxObservedDepth - 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	o.PropDelayDepth[depth].Record(int64(d))
 }
 
 // ObserveDecode records a traced event's wire-decode span (span only; the

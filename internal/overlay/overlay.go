@@ -1,0 +1,138 @@
+// Package overlay derives multi-hop relay topologies from the channel
+// registry's membership roster. The paper's kernel channels — and every PR
+// before this one — wire a flat full mesh: each publisher holds a per-peer
+// outbox for every subscriber, so connection count, publisher memory and
+// fan-out cost all grow linearly with cluster size. A relay tree makes the
+// publisher-side cost O(branching factor): interior nodes re-publish records
+// down their subtrees, and the pooled refcounted fan-out record makes that
+// re-fan-out nearly free.
+//
+// The tree is a pure function of the roster: every member sorts the same
+// membership snapshot the same way (relay-capable members first, each group
+// ordered by ID) and reads its parent and children straight out of the
+// implicit b-ary heap layout. No coordination, no elected coordinator, no
+// tree state on the wire — two members with the same roster snapshot always
+// agree on every edge, and when the registry's TTL expires a dead relay the
+// survivors re-derive a tree without it (re-parenting falls out of the
+// reconnect supervisor re-evaluating its neighbor set).
+package overlay
+
+import (
+	"sort"
+
+	"dproc/internal/registry"
+)
+
+// Role values members advertise through the registry. The zero value is a
+// leaf, so members predating role advertisement sort as leaves.
+const (
+	// RoleLeaf marks a member that only terminates events (the default).
+	RoleLeaf = ""
+	// RoleRelay marks a member willing to occupy an interior tree position
+	// and re-publish records down its subtree.
+	RoleRelay = "relay"
+)
+
+// DefaultMaxHops bounds relay-tree depth. A balanced b-ary tree reaches
+// 2^16 members at branching 2 before hitting it, so in practice it only
+// stops records that would otherwise loop.
+const DefaultMaxHops = 16
+
+// Topology decides which roster members a channel member connects to. The
+// flat mesh and the relay tree both implement it; kecho consults it when
+// dialing initial peers and on every supervisor pass, so topology changes
+// (members joining, dying, or being aged out by the registry TTL) converge
+// without any topology-specific machinery.
+type Topology interface {
+	// Neighbors returns the members self should hold connections to, given
+	// a roster that includes self. The result never contains self. Order is
+	// not significant; derivations must be deterministic in the roster.
+	Neighbors(self string, roster []registry.Member) []registry.Member
+	// MaxHops bounds how far a record may be forwarded: a relay drops any
+	// record whose incremented hop count would exceed it. Zero means
+	// "never forward" — the full-mesh setting.
+	MaxHops() int
+}
+
+// FullMesh is the flat topology every PR before the overlay used: everyone
+// connects to everyone, nothing is forwarded.
+type FullMesh struct{}
+
+// Neighbors returns every roster member except self.
+func (FullMesh) Neighbors(self string, roster []registry.Member) []registry.Member {
+	out := make([]registry.Member, 0, len(roster))
+	for _, m := range roster {
+		if m.ID != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MaxHops is zero: a full mesh never forwards.
+func (FullMesh) MaxHops() int { return 0 }
+
+// RelayTree is the deterministic b-ary relay tree. Members sort
+// relay-capable first (so interior positions go to members that volunteered
+// for them) and the sorted order is read as an implicit heap: member i's
+// children sit at b*i+1 … b*i+b and its parent at (i-1)/b.
+type RelayTree struct {
+	// Branching is the tree's fan-out per interior node. Values below 2
+	// are treated as 2.
+	Branching int
+}
+
+// branching returns the effective branching factor.
+func (t RelayTree) branching() int {
+	if t.Branching < 2 {
+		return 2
+	}
+	return t.Branching
+}
+
+// SortRoster orders a membership snapshot into tree layout: relay-capable
+// members first, each group sorted by ID. The input is not modified.
+// Exported so callers that need the full layout (tests, reports) see
+// exactly the order Neighbors uses.
+func SortRoster(roster []registry.Member) []registry.Member {
+	out := make([]registry.Member, len(roster))
+	copy(out, roster)
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Role == RoleRelay, out[j].Role == RoleRelay
+		if ri != rj {
+			return ri
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Neighbors returns self's parent and children in the tree derived from
+// roster. A member absent from the roster (a registry race during join)
+// degrades to full-mesh neighbors so it is never isolated; the next
+// supervisor pass, with a roster that includes it, prunes back to the tree.
+func (t RelayTree) Neighbors(self string, roster []registry.Member) []registry.Member {
+	sorted := SortRoster(roster)
+	idx := -1
+	for i, m := range sorted {
+		if m.ID == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return FullMesh{}.Neighbors(self, roster)
+	}
+	b := t.branching()
+	out := make([]registry.Member, 0, b+1)
+	if idx > 0 {
+		out = append(out, sorted[(idx-1)/b])
+	}
+	for c := b*idx + 1; c <= b*idx+b && c < len(sorted); c++ {
+		out = append(out, sorted[c])
+	}
+	return out
+}
+
+// MaxHops returns the forwarding bound.
+func (t RelayTree) MaxHops() int { return DefaultMaxHops }

@@ -1,0 +1,198 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dproc/internal/registry"
+)
+
+func roster(n int, relays int) []registry.Member {
+	out := make([]registry.Member, 0, n)
+	for i := 0; i < n; i++ {
+		role := RoleLeaf
+		if i < relays {
+			role = RoleRelay
+		}
+		out = append(out, registry.Member{
+			ID:   fmt.Sprintf("node%02d", i),
+			Addr: fmt.Sprintf("127.0.0.1:%d", 10000+i),
+			Role: role,
+		})
+	}
+	return out
+}
+
+func ids(ms []registry.Member) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFullMeshNeighbors(t *testing.T) {
+	r := roster(4, 0)
+	n := FullMesh{}.Neighbors("node01", r)
+	if len(n) != 3 {
+		t.Fatalf("full mesh neighbors = %v, want 3 members", ids(n))
+	}
+	for _, m := range n {
+		if m.ID == "node01" {
+			t.Fatal("neighbors contain self")
+		}
+	}
+	if (FullMesh{}).MaxHops() != 0 {
+		t.Fatal("full mesh must never forward")
+	}
+}
+
+// TestRelayTreeShape pins the implicit-heap layout: with branching 2 over 7
+// members (all relay-capable, so layout order is ID order), node00 is the
+// root with children node01/node02, and node03's parent is node01.
+func TestRelayTreeShape(t *testing.T) {
+	r := roster(7, 7)
+	tr := RelayTree{Branching: 2}
+	cases := []struct {
+		self string
+		want []string
+	}{
+		{"node00", []string{"node01", "node02"}},
+		{"node01", []string{"node00", "node03", "node04"}},
+		{"node02", []string{"node00", "node05", "node06"}},
+		{"node03", []string{"node01"}},
+		{"node06", []string{"node02"}},
+	}
+	for _, c := range cases {
+		got := ids(tr.Neighbors(c.self, r))
+		want := append([]string(nil), c.want...)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: neighbors %v, want %v", c.self, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: neighbors %v, want %v", c.self, got, want)
+			}
+		}
+	}
+}
+
+// TestRelayTreeRelaysFirst pins the role-aware layout: relay-capable
+// members take the interior positions regardless of ID order, so a leaf's
+// parent is always a relay while relays outnumber interior slots.
+func TestRelayTreeRelaysFirst(t *testing.T) {
+	// node05..node07 are relays, node00..node04 leaves; sorted layout is
+	// [node05 node06 node07 node00 node01 node02 node03 node04].
+	r := roster(8, 0)
+	for i := 5; i < 8; i++ {
+		r[i].Role = RoleRelay
+	}
+	tr := RelayTree{Branching: 2}
+	// Leaf node00 sits at layout index 3: its parent is index (3-1)/2 = 1
+	// (node06) and its children indices 7 (node04) and 8 (absent).
+	got := ids(tr.Neighbors("node00", r))
+	want := []string{"node04", "node06"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("leaf neighbors %v, want %v", got, want)
+	}
+	// The root is the first relay.
+	root := ids(tr.Neighbors("node05", r))
+	want = []string{"node06", "node07"}
+	if len(root) != len(want) || root[0] != want[0] || root[1] != want[1] {
+		t.Fatalf("root neighbors %v, want %v", root, want)
+	}
+}
+
+// TestRelayTreeSymmetric asserts the edge relation is symmetric: if a is a
+// neighbor of b, then b is a neighbor of a — the property that makes every
+// tree edge a real bidirectional connection.
+func TestRelayTreeSymmetric(t *testing.T) {
+	r := roster(20, 4)
+	tr := RelayTree{Branching: 3}
+	for _, a := range r {
+		for _, b := range tr.Neighbors(a.ID, r) {
+			back := tr.Neighbors(b.ID, r)
+			found := false
+			for _, m := range back {
+				if m.ID == a.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %s->%s not symmetric", a.ID, b.ID)
+			}
+		}
+	}
+}
+
+// TestRelayTreeConnected asserts every member is reachable from the root:
+// the union of neighbor edges spans the roster (no orphaned subtrees).
+func TestRelayTreeConnected(t *testing.T) {
+	for _, branching := range []int{2, 3, 8} {
+		r := roster(33, 5)
+		tr := RelayTree{Branching: branching}
+		adj := map[string][]string{}
+		for _, m := range r {
+			for _, n := range tr.Neighbors(m.ID, r) {
+				adj[m.ID] = append(adj[m.ID], n.ID)
+			}
+		}
+		seen := map[string]bool{r[0].ID: true}
+		queue := []string{r[0].ID}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, n := range adj[cur] {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		if len(seen) != len(r) {
+			t.Fatalf("branching %d: reached %d of %d members", branching, len(seen), len(r))
+		}
+	}
+}
+
+// TestRelayTreeBoundedDegree asserts no member holds more than
+// branching+1 connections — the publisher-side flatness claim.
+func TestRelayTreeBoundedDegree(t *testing.T) {
+	r := roster(100, 10)
+	tr := RelayTree{Branching: 4}
+	for _, m := range r {
+		if n := len(tr.Neighbors(m.ID, r)); n > 5 {
+			t.Fatalf("%s has %d neighbors, want <= branching+1 = 5", m.ID, n)
+		}
+	}
+}
+
+// TestRelayTreeSelfMissing pins the degraded mode: a member whose join has
+// not yet landed in its own roster snapshot connects full-mesh rather than
+// isolating itself.
+func TestRelayTreeSelfMissing(t *testing.T) {
+	r := roster(5, 1)
+	got := RelayTree{Branching: 2}.Neighbors("ghost", r)
+	if len(got) != 5 {
+		t.Fatalf("missing self degrades to %d neighbors, want full mesh of 5", len(got))
+	}
+}
+
+func TestSortRosterDoesNotMutate(t *testing.T) {
+	r := roster(6, 0)
+	r[5].Role = RoleRelay
+	before := ids(r)
+	sorted := SortRoster(r)
+	if sorted[0].ID != "node05" {
+		t.Fatalf("sorted[0] = %s, want the relay first", sorted[0].ID)
+	}
+	after := ids(r)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("SortRoster mutated its input")
+		}
+	}
+}

@@ -40,11 +40,16 @@ const (
 	msgHeartbeat
 )
 
-// Member is one channel participant: a stable ID and the TCP address its
-// event listener is reachable at.
+// Member is one channel participant: a stable ID, the TCP address its event
+// listener is reachable at, and the topology role it advertised on join.
 type Member struct {
 	ID   string
 	Addr string
+	// Role is the member's overlay role ("" = leaf, "relay" = willing to
+	// occupy an interior relay-tree position). It travels in the member
+	// list's per-member extension block, so decoders that predate it — or
+	// postdate it — parse announcements from the other side unchanged.
+	Role string
 }
 
 // memberEntry is a registered member plus its liveness bookkeeping.
@@ -249,6 +254,12 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		name := d.String()
 		id := d.String()
 		addr := d.String()
+		// The role field arrived after the original three-string request;
+		// requests from clients that predate it simply end here.
+		role := ""
+		if d.Remaining() > 0 {
+			role = d.String()
+		}
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
@@ -267,7 +278,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		s.expireLocked(ch, now)
 		_, known := ch[id]
 		if typ == msgHeartbeat {
-			ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr}, lastSeen: now}
+			ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr, Role: role}, lastSeen: now}
 			s.mu.Unlock()
 			e := wire.NewEncoder(8)
 			e.Bool(!known) // reports whether the heartbeat (re-)registered
@@ -281,7 +292,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 				peers = append(peers, m.Member)
 			}
 		}
-		ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr}, lastSeen: now}
+		ch[id] = &memberEntry{Member: Member{ID: id, Addr: addr, Role: role}, lastSeen: now}
 		s.mu.Unlock()
 		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 		return encodeMembers(peers), nil
@@ -333,28 +344,47 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 	return nil, fmt.Errorf("unknown request type %d", typ)
 }
 
+// Member-list wire format: uint32 count, then per member a length-prefixed
+// ID, a length-prefixed Addr, and a length-prefixed extension block. The
+// block currently holds one length-prefixed Role string; fields added after
+// Role land inside the same block, where decodeMembers skips what it does
+// not understand. That skip is the version-tolerance contract: a decoder at
+// this revision parses announcements from future servers (extra ext bytes),
+// while ext contents that overrun their declared length are rejected like
+// any other framing error.
 func encodeMembers(members []Member) []byte {
-	e := wire.NewEncoder(32 * (len(members) + 1))
+	e := wire.NewEncoder(40 * (len(members) + 1))
 	e.Uint32(uint32(len(members)))
 	for _, m := range members {
 		e.String(m.ID)
 		e.String(m.Addr)
+		e.Uint32(uint32(4 + len(m.Role))) // ext block length
+		e.String(m.Role)
 	}
 	return e.Bytes()
 }
 
 // decodeMembers parses a member list, bounding the declared count by what
-// the payload could plausibly hold (each member is at least two 4-byte
+// the payload could plausibly hold (each member is at least three 4-byte
 // length prefixes) so a corrupt frame cannot drive a huge allocation.
 func decodeMembers(payload []byte) ([]Member, error) {
 	d := wire.NewDecoder(payload)
 	n := d.Uint32()
-	if int64(n)*8 > int64(d.Remaining()) {
+	if int64(n)*12 > int64(d.Remaining()) {
 		return nil, fmt.Errorf("registry: implausible member count %d for %d payload bytes", n, d.Remaining())
 	}
 	out := make([]Member, n)
 	for i := range out {
-		out[i] = Member{ID: d.String(), Addr: d.String()}
+		id := d.String()
+		addr := d.String()
+		ext := wire.NewDecoder(d.BytesFieldView())
+		role := ext.String()
+		// Bytes after Role are fields from a newer revision: skipped, not
+		// errors. A Role that overruns the block is a framing error.
+		if d.Err() == nil && ext.Err() != nil {
+			return nil, fmt.Errorf("registry: member extension: %w", ext.Err())
+		}
+		out[i] = Member{ID: id, Addr: addr, Role: role}
 	}
 	if err := d.Finish(); err != nil {
 		return nil, err
@@ -570,10 +600,18 @@ func (c *Client) Create(channel string) (created bool, err error) {
 // returns the members that were present before the join — the peers the
 // caller must dial.
 func (c *Client) Join(channel, memberID, addr string) ([]Member, error) {
+	return c.JoinAs(channel, memberID, addr, "")
+}
+
+// JoinAs is Join with an advertised overlay role, carried as the optional
+// fourth request field (servers predating it ignore nothing — the field is
+// simply absent from older clients' requests).
+func (c *Client) JoinAs(channel, memberID, addr, role string) ([]Member, error) {
 	e := wire.NewEncoder(96)
 	e.String(channel)
 	e.String(memberID)
 	e.String(addr)
+	e.String(role)
 	reply, err := c.roundTrip(msgJoin, e.Bytes())
 	if err != nil {
 		return nil, err
@@ -586,10 +624,17 @@ func (c *Client) Join(channel, memberID, addr string) ([]Member, error) {
 // clients transparently re-join after a registry restart. It reports
 // whether the heartbeat had to register the member.
 func (c *Client) Heartbeat(channel, memberID, addr string) (rejoined bool, err error) {
+	return c.HeartbeatAs(channel, memberID, addr, "")
+}
+
+// HeartbeatAs is Heartbeat with an advertised overlay role, so a relay's
+// keep-alive re-registers it with the role intact after a registry restart.
+func (c *Client) HeartbeatAs(channel, memberID, addr, role string) (rejoined bool, err error) {
 	e := wire.NewEncoder(96)
 	e.String(channel)
 	e.String(memberID)
 	e.String(addr)
+	e.String(role)
 	reply, err := c.roundTrip(msgHeartbeat, e.Bytes())
 	if err != nil {
 		return false, err

@@ -55,8 +55,16 @@ func (r *RunResult) EncodeJSON() ([]byte, error) {
 		for _, rc := range p.Recovery {
 			m["recovery_"+rc.Name] = float64(rc.Value)
 		}
+		name := fmt.Sprintf("scenario/%s/nodes=%d", r.Scenario.Name, p.Nodes)
+		if p.Branching > 0 {
+			// Relay-tree sweep points carry the branching factor in both the
+			// name (so flat and tree runs of the same node count stay distinct
+			// rows) and the metrics map (for tooling that plots by axis).
+			name += fmt.Sprintf("/branching=%d", p.Branching)
+			m["branching"] = float64(p.Branching)
+		}
 		out = append(out, jsonResult{
-			Name:    fmt.Sprintf("scenario/%s/nodes=%d", r.Scenario.Name, p.Nodes),
+			Name:    name,
 			Iters:   int64(p.Deliveries),
 			NsPerOp: float64(p.Prop.Quantile(0.50)),
 			Metrics: m,
@@ -93,14 +101,36 @@ func (r *RunResult) EncodeReport() []byte {
 	}
 	sb.WriteString(".\n\n")
 
-	// The headline table: one row per sweep point.
+	// The headline table: one row per sweep point. The overlay column only
+	// appears when the run sweeps branching factors.
+	hasBranching := false
+	for i := range r.Points {
+		if r.Points[i].Branching > 0 {
+			hasBranching = true
+		}
+	}
+	overlayLabel := func(p *PointResult) string {
+		if p.Branching == 0 {
+			return "flat"
+		}
+		return fmt.Sprintf("tree-b%d", p.Branching)
+	}
 	sb.WriteString("## Results\n\n")
-	sb.WriteString("| nodes | published | deliveries | throughput (ev/s) | drops | skips | prop p50 | prop p95 | prop p99 |\n")
-	sb.WriteString("|------:|----------:|-----------:|------------------:|------:|------:|---------:|---------:|---------:|\n")
+	if hasBranching {
+		sb.WriteString("| nodes | overlay | published | deliveries | throughput (ev/s) | drops | skips | prop p50 | prop p95 | prop p99 |\n")
+		sb.WriteString("|------:|--------:|----------:|-----------:|------------------:|------:|------:|---------:|---------:|---------:|\n")
+	} else {
+		sb.WriteString("| nodes | published | deliveries | throughput (ev/s) | drops | skips | prop p50 | prop p95 | prop p99 |\n")
+		sb.WriteString("|------:|----------:|-----------:|------------------:|------:|------:|---------:|---------:|---------:|\n")
+	}
 	for i := range r.Points {
 		p := &r.Points[i]
-		fmt.Fprintf(&sb, "| %d | %d | %d | %.1f | %d | %d | %s | %s | %s |\n",
-			p.Nodes, p.Reports+p.Events, p.Deliveries, p.Throughput(), p.Drops, p.Skips,
+		fmt.Fprintf(&sb, "| %d ", p.Nodes)
+		if hasBranching {
+			fmt.Fprintf(&sb, "| %s ", overlayLabel(p))
+		}
+		fmt.Fprintf(&sb, "| %d | %d | %.1f | %d | %d | %s | %s | %s |\n",
+			p.Reports+p.Events, p.Deliveries, p.Throughput(), p.Drops, p.Skips,
 			fmtDuration(time.Duration(p.Prop.Quantile(0.50))),
 			fmtDuration(time.Duration(p.Prop.Quantile(0.95))),
 			fmtDuration(time.Duration(p.Prop.Quantile(0.99))))
@@ -110,7 +140,11 @@ func (r *RunResult) EncodeReport() []byte {
 	// Per-point detail: volume and recovery counters.
 	for i := range r.Points {
 		p := &r.Points[i]
-		fmt.Fprintf(&sb, "## nodes = %d\n\n", p.Nodes)
+		if p.Branching > 0 {
+			fmt.Fprintf(&sb, "## nodes = %d, overlay = tree-b%d\n\n", p.Nodes, p.Branching)
+		} else {
+			fmt.Fprintf(&sb, "## nodes = %d\n\n", p.Nodes)
+		}
 		fmt.Fprintf(&sb, "- steps: %d (%s of %s ticks)\n", p.Steps, fmtDuration(p.Duration), fmtDuration(s.Tick))
 		fmt.Fprintf(&sb, "- monitoring reports published: %d\n", p.Reports)
 		fmt.Fprintf(&sb, "- workload events published: %d\n", p.Events)

@@ -13,6 +13,9 @@ import (
 type PointResult struct {
 	// Nodes is the sweep-point node count.
 	Nodes int
+	// Branching is the sweep point's relay-tree branching factor (0 = flat
+	// full mesh).
+	Branching int
 	// Steps is how many poll ticks ran.
 	Steps int
 	// Duration is the run length (virtual for the model engine).
@@ -79,27 +82,36 @@ func Run(s *Scenario, logf func(format string, args ...any)) (*RunResult, error)
 		logf = func(string, ...any) {}
 	}
 	res := &RunResult{Scenario: s}
+	// The sweep is the cross-product of the node axis and the branching axis
+	// (flat-only when no branching entries are declared), in runfile order.
+	branchings := s.Topology.Branchings
+	if len(branchings) == 0 {
+		branchings = []int{0}
+	}
 	for _, n := range s.Topology.Nodes {
-		logf("scenario %s: engine=%s nodes=%d duration=%s", s.Name, s.Engine, n, s.Duration)
-		var (
-			pt  PointResult
-			err error
-		)
-		switch s.Engine {
-		case EngineModel:
-			pt, err = runModel(s, n)
-		case EngineSockets:
-			pt, err = runSockets(s, n)
-		default:
-			// Validate rejects this; keep the error for direct callers.
-			err = &ParseError{File: s.Path, Section: "scenario", Key: "engine", Msg: "unknown engine " + s.Engine}
+		for _, b := range branchings {
+			logf("scenario %s: engine=%s nodes=%d branching=%d duration=%s", s.Name, s.Engine, n, b, s.Duration)
+			var (
+				pt  PointResult
+				err error
+			)
+			switch s.Engine {
+			case EngineModel:
+				pt, err = runModel(s, n)
+			case EngineSockets:
+				pt, err = runSockets(s, n, b)
+			default:
+				// Validate rejects this; keep the error for direct callers.
+				err = &ParseError{File: s.Path, Section: "scenario", Key: "engine", Msg: "unknown engine " + s.Engine}
+			}
+			if err != nil {
+				return nil, err
+			}
+			pt.Branching = b
+			logf("  done: %d reports, %d deliveries, %d drops, prop p99 %s",
+				pt.Reports, pt.Deliveries, pt.Drops, time.Duration(pt.Prop.Quantile(0.99)))
+			res.Points = append(res.Points, pt)
 		}
-		if err != nil {
-			return nil, err
-		}
-		logf("  done: %d reports, %d deliveries, %d drops, prop p99 %s",
-			pt.Reports, pt.Deliveries, pt.Drops, time.Duration(pt.Prop.Quantile(0.99)))
-		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }

@@ -246,6 +246,13 @@ func (p *parser) assign(key, val string, line int) error {
 			return p.setInt(&s.Topology.Fanout, val, line, key)
 		case "gateways":
 			return p.setInt(&s.Topology.Gateways, val, line, key)
+		case "branching":
+			list, err := parseIntList(val)
+			if err != nil {
+				return p.errf(line, key, "%v", err)
+			}
+			s.Topology.Branchings = list
+			return nil
 		}
 	case "load":
 		switch key {

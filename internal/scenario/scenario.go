@@ -106,6 +106,13 @@ type Topology struct {
 	// clusters; cross-cluster events relay through the cluster's gateway
 	// (its first node) and pay the extra link hop. Model engine only.
 	Gateways int
+	// Branchings is a second sweep axis (sockets engine only): each entry
+	// configures the monitoring channel's relay-tree branching factor, 0
+	// meaning the flat full mesh. Every node-count point runs once per
+	// branching entry, so `nodes = 16` with `branching = 0, 4` directly
+	// compares flat fan-out against a branching-4 relay tree. Empty means
+	// flat only.
+	Branchings []int
 }
 
 // Load is the synthetic data-stream profile, per node (see

@@ -21,6 +21,7 @@ import (
 	"dproc/internal/kecho"
 	"dproc/internal/metrics"
 	"dproc/internal/obs"
+	"dproc/internal/overlay"
 	"dproc/internal/workload"
 
 	mrand "math/rand"
@@ -30,7 +31,11 @@ import (
 // end of a sockets run before harvesting counters.
 const drainSettle = 100 * time.Millisecond
 
-func runSockets(s *Scenario, n int) (PointResult, error) {
+// runSockets executes one sweep point on the real transport. branching > 0
+// replaces the monitoring channel's flat mesh with a relay tree of that
+// branching factor (every node relay-capable, so the tree is derived from ID
+// order alone).
+func runSockets(s *Scenario, n int, branching int) (PointResult, error) {
 	var clk clock.Clock
 	var vclk *clock.Virtual
 	if s.Clock == ClockVirtual {
@@ -59,6 +64,10 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 		cfg.Channel.Writers = s.Writers
 		if s.Dispatch == "event" {
 			cfg.Channel.Dispatch = kecho.EventDriven
+		}
+		if branching > 0 {
+			cfg.RelayBranching = branching
+			cfg.RelayRole = overlay.RoleRelay
 		}
 		cfg.TraceSample = s.TraceSample
 		if dataDir != "" {
@@ -257,6 +266,7 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 	// fault injectors.
 	var prop obs.Snapshot
 	var reconnects, redials, deadlineDrops, queueDrops, walErrors uint64
+	var relayed, relayDups uint64
 	for _, node := range cluster.Nodes {
 		reg := node.Metrics()
 		for _, ch := range []string{dmon.MonitoringChannel, dmon.ControlChannel} {
@@ -268,6 +278,8 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 			redials += counter(reg, ch, "redials")
 			deadlineDrops += counter(reg, ch, "deadline_drops")
 			queueDrops += counter(reg, ch, "queue_drops")
+			relayed += counter(reg, ch, "relayed")
+			relayDups += counter(reg, ch, "relay_dups")
 		}
 		if v, ok := reg.Value("tsdb", "", "wal_errors"); ok {
 			walErrors += v
@@ -296,6 +308,8 @@ func runSockets(s *Scenario, n int) (PointResult, error) {
 		{"redials", redials},
 		{"deadline_drops", deadlineDrops},
 		{"queue_drops", queueDrops},
+		{"relayed", relayed},
+		{"relay_dups", relayDups},
 		{"conns_killed", fstats.ConnsKilled},
 		{"dials_refused", fstats.DialsRefused},
 		{"wal_errors", walErrors},

@@ -120,6 +120,21 @@ func (s *Scenario) Validate() error {
 			return fail("topology", "gateways", "%d gateways but the smallest sweep point has only %d nodes", s.Topology.Gateways, minN)
 		}
 	}
+	if len(s.Topology.Branchings) > maxSweepPoints {
+		return fail("topology", "branching", "%d sweep points; cap is %d", len(s.Topology.Branchings), maxSweepPoints)
+	}
+	for _, b := range s.Topology.Branchings {
+		if b < 0 {
+			return fail("topology", "branching", "must be >= 0 (0 = flat full mesh), got %d", b)
+		}
+		if b > 0 && s.Engine != EngineSockets {
+			return fail("topology", "branching", "relay trees run on the real transport; use engine = \"sockets\"")
+		}
+	}
+	if len(s.Topology.Nodes)*max(1, len(s.Topology.Branchings)) > maxSweepPoints {
+		return fail("topology", "branching", "nodes × branching = %d sweep points; cap is %d",
+			len(s.Topology.Nodes)*len(s.Topology.Branchings), maxSweepPoints)
+	}
 
 	// Load.
 	if s.Load.Rate < 0 {

@@ -1,0 +1,113 @@
+package wire
+
+import "testing"
+
+// record builds a plausible event record (string from, u64 seq, bytes body)
+// so the extension matrix runs against realistic preceding fields.
+func hopRecord() []byte {
+	buf := AppendString(nil, "node7")
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 42)
+	return AppendBytesField(buf, []byte("payload"))
+}
+
+func decodeHopBody(t *testing.T, buf []byte) *Decoder {
+	t.Helper()
+	d := NewDecoder(buf)
+	if from := d.StringBytes(); string(from) != "node7" {
+		t.Fatalf("from = %q", from)
+	}
+	d.Uint64()
+	if body := d.BytesFieldView(); string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+	return d
+}
+
+// TestHopExtMatrix walks the four legal trailer layouts — nothing, hop
+// only, trace only, hop+trace — asserting each extension is consumed
+// exactly when present and Finish accepts the result.
+func TestHopExtMatrix(t *testing.T) {
+	base := hopRecord()
+	cases := []struct {
+		name      string
+		buf       []byte
+		wantHops  uint8
+		wantHopOK bool
+		wantTID   uint64
+		wantTrcOK bool
+	}{
+		{name: "plain", buf: base},
+		{name: "hop-only", buf: AppendHopExt(append([]byte(nil), base...), 3), wantHops: 3, wantHopOK: true},
+		{name: "trace-only", buf: AppendTraceExt(append([]byte(nil), base...), 0xfeed, 99), wantTID: 0xfeed, wantTrcOK: true},
+		{name: "hop-then-trace", buf: AppendTraceExt(AppendHopExt(append([]byte(nil), base...), 7), 0xbeef, 1), wantHops: 7, wantHopOK: true, wantTID: 0xbeef, wantTrcOK: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := decodeHopBody(t, c.buf)
+			hops, ok := d.HopExt()
+			if ok != c.wantHopOK || hops != c.wantHops {
+				t.Fatalf("HopExt = %d, %v; want %d, %v", hops, ok, c.wantHops, c.wantHopOK)
+			}
+			tid, _, ok := d.TraceExt()
+			if ok != c.wantTrcOK || tid != c.wantTID {
+				t.Fatalf("TraceExt = %x, %v; want %x, %v", tid, ok, c.wantTID, c.wantTrcOK)
+			}
+			if err := d.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHopExtDoesNotConsumeForeign pins self-identification: trailing bytes
+// of the right length but the wrong marker, or a hop trailer in the wrong
+// position (after the trace trailer), are left for Finish to reject.
+func TestHopExtDoesNotConsumeForeign(t *testing.T) {
+	base := hopRecord()
+
+	wrongMarker := append(append([]byte(nil), base...), 0x58, 5)
+	d := decodeHopBody(t, wrongMarker)
+	if _, ok := d.HopExt(); ok {
+		t.Fatal("HopExt consumed a trailer with a foreign marker")
+	}
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted foreign trailing bytes")
+	}
+
+	// Trace first, hop second: HopExt sees 19 bytes remaining but the
+	// marker at the front is the trace marker, so nothing is consumed.
+	misordered := AppendHopExt(AppendTraceExt(append([]byte(nil), base...), 1, 2), 4)
+	d = decodeHopBody(t, misordered)
+	if _, ok := d.HopExt(); ok {
+		t.Fatal("HopExt consumed a misordered trailer pair")
+	}
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted a misordered trailer pair")
+	}
+}
+
+// TestHopExtInPlaceRewrite pins the relay fast path: the hop byte sits at a
+// fixed offset from the record's end (last byte, or TraceExtSize+1 from the
+// end when traced), so a relay increments it without re-encoding.
+func TestHopExtInPlaceRewrite(t *testing.T) {
+	plain := AppendHopExt(hopRecord(), 0)
+	plain[len(plain)-1]++
+	d := decodeHopBody(t, plain)
+	if hops, ok := d.HopExt(); !ok || hops != 1 {
+		t.Fatalf("rewritten hops = %d, %v; want 1", hops, ok)
+	}
+
+	traced := AppendTraceExt(AppendHopExt(hopRecord(), 0), 0xabc, 7)
+	traced[len(traced)-1-TraceExtSize]++
+	traced[len(traced)-1-TraceExtSize]++
+	d = decodeHopBody(t, traced)
+	if hops, ok := d.HopExt(); !ok || hops != 2 {
+		t.Fatalf("rewritten traced hops = %d, %v; want 2", hops, ok)
+	}
+	if tid, _, ok := d.TraceExt(); !ok || tid != 0xabc {
+		t.Fatalf("trace trailer damaged by rewrite: %x, %v", tid, ok)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -389,6 +389,46 @@ func (d *Decoder) TraceExt() (traceID uint64, sendUnixNano int64, ok bool) {
 	return traceID, sendUnixNano, true
 }
 
+// Hop extension: a record traveling through a relay tree carries its hop
+// count as a fixed-size trailer so relays can bound propagation depth (loop
+// prevention) and receivers can attribute latency to tree depth. Like the
+// trace extension it is self-identifying and optional: flat-mesh records
+// never carry it and pay zero bytes. When both extensions are present the
+// hop trailer precedes the trace trailer — relays rewrite the hop byte in
+// place at a fixed offset from the record's end, which a variable trailer
+// order would break.
+const (
+	// HopExtSize is the trailer length: marker byte + hop count.
+	HopExtSize = 1 + 1
+	// hopExtMarker distinguishes the trailer from ordinary field bytes.
+	hopExtMarker = 0x48 // 'H'
+	// MaxHops bounds the hop counter (and with it relay-tree depth): the
+	// counter is a single byte, and a record whose increment would pass
+	// this value is dropped rather than forwarded.
+	MaxHops = 255
+)
+
+// AppendHopExt appends the hop trailer to an encoded record. It must be
+// appended before any trace trailer so the hop byte sits at a fixed
+// distance from the record's end.
+func AppendHopExt(dst []byte, hops uint8) []byte {
+	return append(dst, hopExtMarker, hops)
+}
+
+// HopExt consumes the hop trailer if it is what remains in the buffer —
+// either alone or followed by exactly one trace trailer — returning the hop
+// count. When absent it consumes nothing and reports ok=false; the record
+// then decodes exactly as a flat-mesh record does.
+func (d *Decoder) HopExt() (hops uint8, ok bool) {
+	r := d.Remaining()
+	if d.err != nil || (r != HopExtSize && r != HopExtSize+TraceExtSize) || d.buf[d.off] != hopExtMarker {
+		return 0, false
+	}
+	hops = d.buf[d.off+1]
+	d.off += HopExtSize
+	return hops, true
+}
+
 // Decoder deserializes fields from a buffer with a sticky error: after the
 // first failure every subsequent read returns the zero value, and Err()
 // reports the original problem. This mirrors the kernel pattern of a single
